@@ -1,0 +1,243 @@
+// Experiment E2: ablations of the bridge's design choices (DESIGN.md §5).
+//
+//  A. min-window adaptation (§3.2 "adapts the client's send rate to the
+//     slower of the two servers"): slow the secondary's protocol
+//     processing and watch the client's achieved send rate track the
+//     slower replica instead of overrunning it.
+//  B. output-queue occupancy: peak bytes parked in the primary/secondary
+//     output queues as a function of reply size — the memory cost of the
+//     merge stage.
+//  C. gratuitous-ARP repeats (takeover hardening) under loss: probability
+//     that a failover strands the client, vs number of repeats.
+//  D. medium duplexing: the paper attributes the Figure 5 receive-rate
+//     collapse to the diverted reply traffic sharing one half-duplex
+//     collision domain. Re-running the stream on a full-duplex (switched)
+//     fabric isolates that effect.
+#include "bench_util.hpp"
+#include "failover_fixture.hpp"
+
+namespace tfo::bench {
+namespace {
+
+// ------------------------------------------------------------------- A
+
+double send_rate_with_slow_secondary(SimDuration extra_proc) {
+  apps::LanParams lp = paper_lan_params();
+  std::unique_ptr<apps::SinkServer> s1, s2;
+  auto t = make_testbed(true, [&](apps::Host& h) {
+    auto s = std::make_unique<apps::SinkServer>(h.tcp(), kPort);
+    (s1 ? s2 : s1) = std::move(s);
+  }, lp);
+  // The secondary's application drains its receive buffer slowly: model a
+  // slower replica by shrinking its receive buffer (less drain headroom).
+  // extra_proc scales the handicap.
+  const double slowdown = 1.0 + to_seconds(extra_proc) * 1e3;  // ms -> factor
+  t.lan->secondary->tcp().mutable_params().recv_buf =
+      static_cast<std::size_t>(65536 / slowdown);
+
+  t.sim().run_for(milliseconds(100));
+  auto conn = t.client().tcp().connect(t.server_addr(), kPort, {.nodelay = true});
+  bool established = false;
+  conn->on_established = [&] { established = true; };
+  t.run_until([&] { return established; }, seconds(10));
+
+  constexpr std::size_t kTotal = 20 * 1000 * 1000;
+  const SimTime start = t.sim().now();
+  std::size_t queued = 0;
+  std::function<void()> feed = [&] {
+    if (queued >= kTotal) return;
+    const std::size_t n = std::min<std::size_t>(128 * 1024, kTotal - queued);
+    queued += n;
+    conn->send(apps::deterministic_payload(n, 1), [&] { feed(); });
+  };
+  feed();
+  if (!t.run_until([&] {
+        return s1->bytes_received() >= kTotal && s2->bytes_received() >= kTotal;
+      }, seconds(3600))) {
+    return -1;
+  }
+  const double secs = to_seconds(static_cast<SimDuration>(t.sim().now() - start));
+  return static_cast<double>(kTotal) / 1000.0 / secs;
+}
+
+// ------------------------------------------------------------------- B
+
+std::size_t peak_queue_bytes(std::size_t reply_size, SimDuration secondary_delack) {
+  std::unique_ptr<apps::BlastServer> b1, b2;
+  apps::LanParams lp = paper_lan_params();
+  auto t = make_testbed(true, [&](apps::Host& h) {
+    auto b = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
+    (b1 ? b2 : b1) = std::move(b);
+  }, lp);
+  t.lan->secondary->tcp().mutable_params().delayed_ack = secondary_delack;
+  t.lan->secondary->nic();  // (secondary skew comes from delack alone)
+  t.sim().run_for(milliseconds(100));
+
+  auto conn = t.client().tcp().connect(t.server_addr(), kPort, {.nodelay = true});
+  bool established = false;
+  conn->on_established = [&] { established = true; };
+  t.run_until([&] { return established; }, seconds(10));
+
+  std::size_t received = 0;
+  conn->on_readable = [&] {
+    Bytes b;
+    conn->recv(b);
+    received += b.size();
+  };
+  char req[48];
+  std::snprintf(req, sizeof(req), "GET %zu 1\n", reply_size);
+  conn->send(to_bytes(req));
+
+  std::size_t peak = 0;
+  const tcp::ConnKey key{t.server_addr(), kPort, t.client().address(),
+                         conn->key().local_port};
+  while (received < reply_size && t.sim().pending() > 0) {
+    t.sim().step();
+    if (auto* bc = t.group->primary_bridge().find(key)) {
+      peak = std::max(peak, bc->primary_queue_bytes() + bc->secondary_queue_bytes());
+    }
+  }
+  return peak;
+}
+
+// ------------------------------------------------------------------- C
+
+/// Returns true if the client finished its transfer after a primary crash
+/// with the given number of gratuitous-ARP repeats under heavy loss.
+bool takeover_succeeds(int repeats, double loss, std::uint64_t seed) {
+  apps::LanParams lp;  // default fast params: this is a yes/no experiment
+  lp.medium.loss_probability = loss;
+  lp.medium.loss_seed = seed;
+  lp.tcp.max_rto = seconds(5);
+  core::FailoverConfig cfg;
+  cfg.heartbeat_period = milliseconds(5);
+  cfg.failure_timeout = milliseconds(100);
+  cfg.gratuitous_arp_repeats = repeats;
+  std::unique_ptr<apps::EchoServer> e1, e2;
+  auto t = make_testbed(true, [&](apps::Host& h) {
+    auto e = std::make_unique<apps::EchoServer>(h.tcp(), kPort);
+    (e1 ? e2 : e1) = std::move(e);
+  }, lp, cfg);
+  t.sim().run_for(milliseconds(100));
+  test::EchoDriver d(t.client(), t.server_addr(), kPort, 30000, 1500);
+  if (!t.run_until([&] { return d.received().size() > 10000; }, seconds(300))) {
+    return false;
+  }
+  t.lan->primary->fail();
+  return t.run_until([&] { return d.done(); }, seconds(300)) && d.verify();
+}
+
+// ------------------------------------------------------------------- D
+
+double receive_rate_kbs(bool failover, bool half_duplex) {
+  apps::LanParams lp = paper_lan_params();
+  lp.medium.half_duplex = half_duplex;
+  std::unique_ptr<apps::BlastServer> b1, b2;
+  auto t = make_testbed(failover, [&](apps::Host& h) {
+    auto b = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
+    (b1 ? b2 : b1) = std::move(b);
+  }, lp);
+  t.sim().run_for(milliseconds(100));
+  auto conn = t.client().tcp().connect(t.server_addr(), kPort, {.nodelay = true});
+  bool established = false;
+  conn->on_established = [&] { established = true; };
+  t.run_until([&] { return established; }, seconds(10));
+  std::size_t received = 0;
+  conn->on_readable = [&] {
+    Bytes b;
+    conn->recv(b);
+    received += b.size();
+  };
+  constexpr std::size_t kBytes = 20 * 1000 * 1000;
+  const SimTime start = t.sim().now();
+  char req[48];
+  std::snprintf(req, sizeof(req), "GET %zu 1\n", kBytes);
+  conn->send(to_bytes(req));
+  if (!t.run_until([&] { return received >= kBytes; }, seconds(3600))) return -1;
+  return static_cast<double>(kBytes) / 1000.0 /
+         to_seconds(static_cast<SimDuration>(t.sim().now() - start));
+}
+
+}  // namespace
+}  // namespace tfo::bench
+
+int main() {
+  using namespace tfo;
+  using namespace tfo::bench;
+
+  print_header("E2-A: min-window adaptation to the slower replica",
+               "paper §3.2: \"adapts the client's send rate to the slower of the"
+               " two servers\"");
+  {
+    TextTable table({"secondary handicap", "client send rate [KB/s]"});
+    struct Case {
+      const char* label;
+      SimDuration extra;
+    } cases[] = {{"none (buffers equal)", 0},
+                 {"2x smaller recv buffer", milliseconds(1)},
+                 {"4x smaller recv buffer", milliseconds(3)},
+                 {"8x smaller recv buffer", milliseconds(7)}};
+    for (const auto& c : cases) {
+      table.add_row({c.label, TextTable::num(send_rate_with_slow_secondary(c.extra), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("expected: rate falls monotonically — min(win_P, win_S) throttles the\n"
+                "client to what the slower replica can absorb.\n");
+  }
+
+  print_header("E2-B: bridge output-queue occupancy",
+               "cost of the §3.2 merge stage (no table in the paper)");
+  {
+    TextTable table({"reply size", "peak queued bytes (balanced)",
+                     "peak queued bytes (secondary delack 200ms)"});
+    for (std::size_t size : {16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024}) {
+      table.add_row({size_label(size),
+                     std::to_string(peak_queue_bytes(size, milliseconds(100))),
+                     std::to_string(peak_queue_bytes(size, milliseconds(200)))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("expected: occupancy is bounded by the slower replica's lag (roughly\n"
+                "one window), not by the reply size.\n");
+  }
+
+  print_header("E2-C: gratuitous-ARP repeats vs takeover success under loss",
+               "hardening of §5 step 5 (single ARP broadcast is a single point of"
+               " loss)");
+  {
+    TextTable table({"repeats", "loss", "takeovers ok / trials"});
+    for (int repeats : {0, 1, 4}) {
+      for (double loss : {0.1, 0.3}) {
+        int ok = 0;
+        const int trials = 10;
+        for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+          if (takeover_succeeds(repeats, loss, seed * 131)) ++ok;
+        }
+        table.add_row({std::to_string(repeats), TextTable::num(loss, 2),
+                       std::to_string(ok) + " / " + std::to_string(trials)});
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("expected: without repeats, a lost gratuitous ARP strands the client\n"
+                "at high loss rates; a handful of repeats makes takeover reliable.\n");
+  }
+
+  print_header("E2-D: the Figure 5 receive-rate collapse is medium contention",
+               "paper §9: the diverted S->P reply stream shares the half-duplex"
+               " wire with the P->client stream");
+  {
+    TextTable table({"medium", "std TCP [KB/s]", "failover [KB/s]", "failover/std"});
+    for (bool hd : {true, false}) {
+      const double s = receive_rate_kbs(false, hd);
+      const double f = receive_rate_kbs(true, hd);
+      table.add_row({hd ? "half duplex (paper's hub)" : "full duplex (switch)",
+                     TextTable::num(s, 1), TextTable::num(f, 1),
+                     TextTable::num(f / s, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("expected: on a switch, the diverted traffic no longer contends with\n"
+                "the client-bound stream, so the failover penalty largely vanishes —\n"
+                "the paper's collapse is a property of its shared Ethernet, not of\n"
+                "the bridge protocol itself.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Experiment E4 (extension): the cost of replication degree. Sweeps the
+// replica-chain length from 1 (plain TCP) to 4 and measures request/reply
+// latency, bulk receive rate, and the client-observed stall when the head
+// crashes. Quantifies the paper's §1 claim that higher replication
+// degrees are achievable by daisy-chaining.
+#include "bench_util.hpp"
+#include "core/replica_chain.hpp"
+#include "failover_fixture.hpp"
+
+namespace tfo::bench {
+namespace {
+
+struct ChainBed {
+  std::unique_ptr<apps::Lan> lan;
+  std::vector<std::unique_ptr<apps::Host>> extra;
+  std::vector<apps::Host*> servers;
+  std::vector<std::unique_ptr<apps::EchoServer>> echoes;
+  std::unique_ptr<core::ReplicaChain> chain;
+
+  bool run_until(const std::function<bool()>& pred, SimDuration to) {
+    const SimTime deadline = lan->sim.now() + static_cast<SimTime>(to);
+    while (!pred()) {
+      if (lan->sim.now() > deadline || lan->sim.pending() == 0) return pred();
+      lan->sim.step();
+    }
+    return true;
+  }
+};
+
+ChainBed make_chain(std::size_t n) {
+  ChainBed bed;
+  bed.lan = apps::make_lan(paper_lan_params());
+  bed.servers = {bed.lan->primary.get()};
+  if (n >= 2) bed.servers.push_back(bed.lan->secondary.get());
+  for (std::size_t i = 2; i < n; ++i) {
+    apps::HostParams hp;
+    hp.name = "backup" + std::to_string(i);
+    hp.addr = ip::Ipv4::parse(("10.0.0." + std::to_string(20 + i)).c_str());
+    hp.nic = paper_lan_params().nic;
+    hp.tcp = paper_lan_params().tcp;
+    hp.seed = 100 + i;
+    auto host = std::make_unique<apps::Host>(bed.lan->sim, hp, *bed.lan->wire);
+    bed.servers.push_back(host.get());
+    bed.extra.push_back(std::move(host));
+  }
+  std::vector<apps::Host*> all = bed.servers;
+  all.push_back(bed.lan->client.get());
+  for (auto* a : all) {
+    for (auto* b : all) {
+      if (a != b) a->arp().add_static(b->address(), b->nic().mac());
+    }
+  }
+  for (auto* s : bed.servers) {
+    bed.echoes.push_back(std::make_unique<apps::EchoServer>(s->tcp(), kPort));
+  }
+  if (n >= 2) {
+    core::FailoverConfig cfg;
+    cfg.ports = {kPort};
+    bed.chain = std::make_unique<core::ReplicaChain>(bed.servers, cfg);
+    bed.chain->start();
+  }
+  bed.lan->sim.run_for(milliseconds(100));
+  return bed;
+}
+
+double echo_latency_us(std::size_t n, std::size_t msg) {
+  auto bed = make_chain(n);
+  auto conn = bed.lan->client->tcp().connect(bed.servers[0]->address(), kPort,
+                                             {.nodelay = true});
+  bool established = false;
+  conn->on_established = [&] { established = true; };
+  bed.run_until([&] { return established; }, seconds(10));
+  Sampler us;
+  Bytes got;
+  conn->on_readable = [&] { conn->recv(got); };
+  for (int i = 0; i < 15; ++i) {
+    got.clear();
+    const SimTime start = bed.lan->sim.now();
+    conn->send(apps::deterministic_payload(msg, static_cast<std::uint32_t>(i)));
+    if (!bed.run_until([&] { return got.size() >= msg; }, seconds(30))) return -1;
+    us.add(to_microseconds(static_cast<SimDuration>(bed.lan->sim.now() - start)));
+  }
+  return us.median();
+}
+
+double bulk_rate_kbs(std::size_t n) {
+  auto bed = make_chain(n);
+  test::EchoDriver d(*bed.lan->client, bed.servers[0]->address(), kPort,
+                     5 * 1000 * 1000, 32 * 1024);
+  const SimTime start = bed.lan->sim.now();
+  if (!bed.run_until([&] { return d.done(); }, seconds(3600))) return -1;
+  const double secs = to_seconds(static_cast<SimDuration>(bed.lan->sim.now() - start));
+  return 5e6 / 1000.0 / secs;
+}
+
+double head_crash_stall_ms(std::size_t n) {
+  auto bed = make_chain(n);
+  test::EchoDriver d(*bed.lan->client, bed.servers[0]->address(), kPort, 300 * 1024,
+                     8192);
+  if (!bed.run_until([&] { return d.received().size() > 100 * 1024; }, seconds(600))) {
+    return -1;
+  }
+  bed.chain->crash(0);
+  SimTime last_progress = bed.lan->sim.now();
+  std::size_t last = d.received().size();
+  SimDuration longest = 0;
+  while (!d.done() && bed.lan->sim.pending() > 0) {
+    bed.lan->sim.step();
+    if (d.received().size() != last) {
+      longest = std::max<SimDuration>(
+          longest, static_cast<SimDuration>(bed.lan->sim.now() - last_progress));
+      last = d.received().size();
+      last_progress = bed.lan->sim.now();
+    }
+  }
+  return d.done() && d.verify() ? to_milliseconds(longest) : -1;
+}
+
+}  // namespace
+}  // namespace tfo::bench
+
+int main() {
+  using namespace tfo;
+  using namespace tfo::bench;
+  print_header("E4: replication degree (daisy-chained replicas)",
+               "paper §1: higher degrees of replication via daisy-chaining"
+               " (out of the paper's scope; implemented and measured here)");
+
+  TextTable table({"replicas", "4KB echo [us]", "64KB echo [us]",
+                   "bulk receive [KB/s]", "head-crash stall [ms]"});
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    const double lat4 = echo_latency_us(n, 4096);
+    const double lat64 = echo_latency_us(n, 65536);
+    const double rate = bulk_rate_kbs(n);
+    const double stall = n >= 2 ? head_crash_stall_ms(n) : -1;
+    table.add_row({std::to_string(n), TextTable::num(lat4, 1), TextTable::num(lat64, 1),
+                   TextTable::num(rate, 1),
+                   n >= 2 ? TextTable::num(stall, 1) : std::string("n/a")});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expected shape: every reply crosses the wire once per chain hop, so\n"
+      "latency and the bulk-rate penalty grow roughly linearly with the\n"
+      "replica count, while the failover stall stays flat (detection +\n"
+      "one retransmission cycle, §5) regardless of depth.\n");
+  return 0;
+}

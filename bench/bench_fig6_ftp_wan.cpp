@@ -1,0 +1,160 @@
+// Figure 6: FTP send and receive rates over a wide-area network, for the
+// paper's five file sizes, standard TCP vs TCP Failover.
+//
+// Paper result (KB/s):
+//   file[KB]   get std   get fo    put std   put fo
+//   0.2        8.75      8.75      512.38    536.05
+//   1.3        59.03     59.03     2033.76   2036.87
+//   18.2       90.41     70.74     3846.13   3890.42
+//   144.9      156.80    138.35    219.52    200.31
+//   1738.1     176.03    171.72    168.07    176.63
+//
+// Shapes to reproduce: (1) small downloads are RTT-bound, so standard and
+// failover match; (2) uploads of buffer-sized files report enormous rates
+// (the client clocks the local write); (3) large transfers converge to
+// the WAN link rate (~175 KB/s) for all four configurations.
+//
+// Rates are computed "as indicated by the FTP client" (§9): downloads
+// over the data-connection lifetime, uploads until the client has written
+// the file to the socket (or the connection lifetime, whichever is
+// longer per definition of done).
+#include "apps/ftp.hpp"
+#include "bench_util.hpp"
+#include "core/replica_group.hpp"
+
+namespace tfo::bench {
+namespace {
+
+constexpr double kFileSizesKb[] = {0.2, 1.3, 18.2, 144.9, 1738.1};
+
+apps::WanParams wan_params() {
+  apps::WanParams wp;
+  // A ~1.5 Mb/s WAN path with 10 ms one-way delay and light loss —
+  // matches the paper's observed ~175 KB/s ceiling for large files.
+  wp.wan_link.bandwidth_bps = 1'500'000;
+  wp.wan_link.propagation = milliseconds(10);
+  wp.wan_link.loss_probability = 0.002;
+  wp.wan_link.queue_limit = 40;
+  wp.nic.rx_processing = microseconds(135);
+  // The FTP client's user→kernel write path (a 2001-era Linux box writing
+  // through the FTP client software): sets the reported small-upload rates.
+  wp.tcp.send_copy_ns_per_byte = 250;
+  wp.tcp.nagle = false;
+  return wp;
+}
+
+struct Rates {
+  double get_kbs = -1;
+  double put_kbs = -1;
+};
+
+Rates measure(bool failover, double file_kb) {
+  auto wan = apps::make_wan(wan_params());
+  std::unique_ptr<core::ReplicaGroup> group;
+  apps::FtpServer ftp_p(wan->primary->tcp());
+  std::unique_ptr<apps::FtpServer> ftp_s;
+  if (failover) {
+    core::FailoverConfig cfg;
+    cfg.ports = {21, 20};
+    group = std::make_unique<core::ReplicaGroup>(*wan->primary, *wan->secondary, cfg);
+    ftp_s = std::make_unique<apps::FtpServer>(wan->secondary->tcp());
+    group->start();
+  }
+  const std::size_t bytes = static_cast<std::size_t>(file_kb * 1000);
+  const Bytes content = apps::deterministic_payload(bytes, 17);
+  ftp_p.add_file("f.bin", content);
+  if (ftp_s) ftp_s->add_file("f.bin", content);
+
+  apps::FtpClient client(wan->client->tcp(), wan->primary->address());
+  auto run_until = [&](const std::function<bool()>& pred, SimDuration to) {
+    const SimTime deadline = wan->sim.now() + static_cast<SimTime>(to);
+    while (!pred()) {
+      if (wan->sim.now() > deadline || wan->sim.pending() == 0) return pred();
+      wan->sim.step();
+    }
+    return true;
+  };
+
+  bool login_done = false;
+  client.login([&](bool) { login_done = true; });
+  if (!run_until([&] { return login_done; }, seconds(60))) return {};
+  wan->sim.run_for(milliseconds(200));
+
+  Rates r;
+  // --- download (RETR)
+  bool get_done = false;
+  Bytes got;
+  const SimTime get_start = wan->sim.now();
+  client.get("f.bin", [&](bool ok, Bytes b) {
+    if (ok) got = std::move(b);
+    get_done = true;
+  });
+  if (!run_until([&] { return get_done; }, seconds(3600)) || got.size() != bytes) {
+    return {};
+  }
+  (void)get_start;
+  {
+    // Client-reported rate: over the data-connection lifetime (what an
+    // FTP client clocks for a download).
+    const SimTime open = client.data_opened_at();
+    const SimTime close = client.data_closed_at();
+    const double secs =
+        close > open ? to_seconds(static_cast<SimDuration>(close - open)) : 1e-9;
+    r.get_kbs = file_kb / secs;
+  }
+  wan->sim.run_for(seconds(2));
+
+  // --- upload (STOR)
+  bool put_done = false, put_ok = false;
+  client.put("up.bin", content, [&](bool ok) {
+    put_ok = ok;
+    put_done = true;
+  });
+  if (!run_until([&] { return put_done; }, seconds(3600)) || !put_ok) return r;
+  {
+    // Client-reported rate: from data-connection open until the client
+    // finished writing the file into the socket — the measurement that
+    // produces the paper's very high small-file upload rates. A fixed
+    // ~0.35 ms accounts for the client's per-transfer setup/syscall cost.
+    const SimTime open = client.data_opened_at();
+    const SimTime written = client.put_written_at();
+    const double secs =
+        (written > open ? to_seconds(static_cast<SimDuration>(written - open)) : 0.0) +
+        3.5e-4;
+    r.put_kbs = file_kb / secs;
+  }
+  client.quit();
+  return r;
+}
+
+}  // namespace
+}  // namespace tfo::bench
+
+int main() {
+  using namespace tfo;
+  using namespace tfo::bench;
+  print_header("Figure 6: FTP get/put rates over a WAN [KB/s]",
+               "paper Fig. 6 — small gets RTT-bound (std == failover); small puts"
+               " report local-write rates; large transfers converge to link rate");
+
+  TextTable table({"file [KB]", "get std", "get failover", "put std", "put failover",
+                   "paper get std/fo", "paper put std/fo"});
+  const char* paper_get[] = {"8.75/8.75", "59.03/59.03", "90.41/70.74",
+                             "156.80/138.35", "176.03/171.72"};
+  const char* paper_put[] = {"512.38/536.05", "2033.76/2036.87", "3846.13/3890.42",
+                             "219.52/200.31", "168.07/176.63"};
+  int i = 0;
+  for (double kb : kFileSizesKb) {
+    const Rates std_r = measure(false, kb);
+    const Rates fo_r = measure(true, kb);
+    table.add_row({TextTable::num(kb, 1), TextTable::num(std_r.get_kbs, 2),
+                   TextTable::num(fo_r.get_kbs, 2), TextTable::num(std_r.put_kbs, 2),
+                   TextTable::num(fo_r.put_kbs, 2), paper_get[i], paper_put[i]});
+    ++i;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("note: WAN rates \"are highly dependent on competing traffic and on\n"
+              "packet loss rates\" (§9); the link here is a seeded 1.5 Mb/s, 20 ms\n"
+              "RTT path with 0.2%% loss.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "apps/echo.hpp"
+
+#include <cstdio>
+
+namespace tfo::apps {
+
+Bytes deterministic_payload(std::size_t n, std::uint32_t seed) {
+  Bytes b(n);
+  std::uint32_t x = seed * 2654435761u + 88172645u;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    b[i] = static_cast<std::uint8_t>(x);
+  }
+  return b;
+}
+
+// ------------------------------------------------------------------ Echo
+
+EchoServer::EchoServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts) {
+  tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+             opts);
+}
+
+void EchoServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  sessions_[raw] = conn;
+  raw->on_readable = [this, raw] {
+    Bytes data;
+    raw->recv(data);
+    bytes_ += data.size();
+    if (!data.empty()) raw->send(std::move(data));
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  // Data may have raced ahead of the accept callback.
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+// ------------------------------------------------------------------ Sink
+
+SinkServer::SinkServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts) {
+  tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+             opts);
+}
+
+void SinkServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  sessions_[raw] = conn;
+  raw->on_readable = [this, raw] {
+    Bytes data;
+    raw->recv(data);
+    bytes_ += data.size();
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+// ----------------------------------------------------------------- Blast
+
+BlastServer::BlastServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts) {
+  tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+             opts);
+}
+
+void BlastServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  sessions_[raw] = {conn, {}};
+  raw->on_readable = [this, raw] {
+    Bytes data;
+    raw->recv(data);
+    auto it = sessions_.find(raw);
+    if (it == sessions_.end()) return;
+    for (std::uint8_t ch : data) {
+      if (ch == '\n') {
+        on_line(raw, it->second.linebuf);
+        it->second.linebuf.clear();
+      } else {
+        it->second.linebuf.push_back(static_cast<char>(ch));
+      }
+    }
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+void BlastServer::on_line(tcp::Connection* conn, const std::string& line) {
+  // Protocol: "GET <bytes> [seed]" → that many deterministic bytes.
+  if (line.rfind("GET ", 0) != 0) return;
+  std::size_t n = 0;
+  std::uint32_t seed = 0;
+  std::sscanf(line.c_str() + 4, "%zu %u", &n, &seed);
+  bytes_ += n;
+  conn->send(deterministic_payload(n, seed));
+}
+
+}  // namespace tfo::apps

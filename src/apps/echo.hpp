@@ -1,0 +1,64 @@
+// Basic traffic servers used by the measurement harnesses (§9) and tests:
+//
+//   EchoServer  — returns every received byte (request/reply workloads).
+//   SinkServer  — consumes and counts bytes (client→server transfer and
+//                 send-rate measurements, Figures 3 and 5).
+//   BlastServer — on a "GET <n>\n" request, replies with n pattern bytes
+//                 (server→client transfer and receive-rate measurements,
+//                 Figures 4 and 5). Deterministic per connection, as the
+//                 paper's active replication requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+/// Deterministic payload generator shared by BlastServer and the benches
+/// so transferred content can be verified byte-for-byte.
+Bytes deterministic_payload(std::size_t n, std::uint32_t seed = 0);
+
+class EchoServer {
+ public:
+  EchoServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts = {});
+  std::uint64_t bytes_echoed() const { return bytes_; }
+  std::size_t live_sessions() const { return sessions_.size(); }
+
+ private:
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> sessions_;
+  std::uint64_t bytes_ = 0;
+};
+
+class SinkServer {
+ public:
+  SinkServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts = {});
+  std::uint64_t bytes_received() const { return bytes_; }
+  std::size_t live_sessions() const { return sessions_.size(); }
+
+ private:
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> sessions_;
+  std::uint64_t bytes_ = 0;
+};
+
+class BlastServer {
+ public:
+  BlastServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts = {});
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  void on_line(tcp::Connection* conn, const std::string& line);
+  struct Session {
+    std::shared_ptr<tcp::Connection> conn;
+    std::string linebuf;
+  };
+  std::unordered_map<tcp::Connection*, Session> sessions_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace tfo::apps

@@ -1,0 +1,313 @@
+#include "apps/ftp.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace tfo::apps {
+
+// ------------------------------------------------------------------ server
+
+FtpServer::FtpServer(tcp::TcpLayer& tcp, Params params)
+    : tcp_(tcp), params_(params) {
+  tcp_.listen(params_.ctrl_port,
+              [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+              params_.opts);
+}
+
+void FtpServer::reply(Session& s, const std::string& text) {
+  s.ctrl->send(to_bytes(text + "\r\n"));
+}
+
+void FtpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  Session s;
+  s.ctrl = std::move(conn);
+  sessions_.emplace(raw, std::move(s));
+  reply(sessions_[raw], "220 tfo-ftpd ready");
+
+  raw->on_readable = [this, raw] {
+    auto it = sessions_.find(raw);
+    if (it == sessions_.end()) return;
+    Bytes data;
+    raw->recv(data);
+    for (std::uint8_t ch : data) {
+      if (ch == '\n') {
+        std::string line = std::move(it->second.linebuf);
+        it->second.linebuf.clear();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        on_line(raw, line);
+        if (!sessions_.contains(raw)) return;  // QUIT may erase
+      } else {
+        it->second.linebuf.push_back(static_cast<char>(ch));
+      }
+    }
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+void FtpServer::on_line(tcp::Connection* ctrl, const std::string& line) {
+  auto it = sessions_.find(ctrl);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  char arg[256] = {0};
+  if (std::sscanf(line.c_str(), "USER %255s", arg) == 1) {
+    s.authed = true;
+    reply(s, "230 User logged in");
+    return;
+  }
+  if (!s.authed) {
+    reply(s, "530 Not logged in");
+    return;
+  }
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "PORT %u", &port) == 1 && port <= 65535) {
+    s.client_data_port = static_cast<std::uint16_t>(port);
+    reply(s, "200 PORT command successful");
+    return;
+  }
+  if (std::sscanf(line.c_str(), "RETR %255s", arg) == 1) {
+    start_retr(s, arg);
+    return;
+  }
+  if (std::sscanf(line.c_str(), "STOR %255s", arg) == 1) {
+    start_stor(s, arg);
+    return;
+  }
+  if (line == "QUIT") {
+    reply(s, "221 Goodbye");
+    s.ctrl->close();
+    return;
+  }
+  reply(s, "500 Unknown command");
+}
+
+void FtpServer::start_retr(Session& s, const std::string& name) {
+  auto file = fs_.find(name);
+  if (file == fs_.end()) {
+    reply(s, "550 File not found");
+    return;
+  }
+  if (s.client_data_port == 0) {
+    reply(s, "503 Use PORT first");
+    return;
+  }
+  reply(s, "150 Opening data connection");
+  // Active mode: connect from our data port to the client's listener —
+  // with a replicated server this is the §7.2 server-initiated path.
+  s.data = tcp_.connect(s.ctrl->key().remote_ip, s.client_data_port, params_.opts,
+                        params_.data_port);
+  tcp::Connection* ctrl = s.ctrl.get();
+  // Send the file as soon as the connection exists; close afterwards.
+  const Bytes& content = file->second;
+  s.data->on_established = [this, ctrl, content] {
+    auto it = sessions_.find(ctrl);
+    if (it == sessions_.end()) return;
+    Session& sess = it->second;
+    sess.data->send(content);
+    sess.data->close();
+  };
+  s.data->on_closed = [this, ctrl](tcp::CloseReason r) {
+    auto it = sessions_.find(ctrl);
+    if (it == sessions_.end()) return;
+    Session& sess = it->second;
+    sess.data.reset();
+    ++transfers_;
+    reply(sess, r == tcp::CloseReason::kGraceful ? "226 Transfer complete"
+                                                 : "426 Transfer aborted");
+  };
+}
+
+void FtpServer::start_stor(Session& s, const std::string& name) {
+  if (s.client_data_port == 0) {
+    reply(s, "503 Use PORT first");
+    return;
+  }
+  reply(s, "150 Opening data connection");
+  s.stor_name = name;
+  s.incoming.clear();
+  s.data = tcp_.connect(s.ctrl->key().remote_ip, s.client_data_port, params_.opts,
+                        params_.data_port);
+  tcp::Connection* ctrl = s.ctrl.get();
+  tcp::Connection* data = s.data.get();
+  s.data->on_readable = [this, ctrl, data] {
+    auto it = sessions_.find(ctrl);
+    if (it == sessions_.end()) return;
+    data->recv(it->second.incoming);
+  };
+  s.data->on_peer_fin = [data] { data->close(); };
+  s.data->on_closed = [this, ctrl](tcp::CloseReason r) {
+    auto it = sessions_.find(ctrl);
+    if (it == sessions_.end()) return;
+    Session& sess = it->second;
+    if (r == tcp::CloseReason::kGraceful) {
+      fs_[sess.stor_name] = std::move(sess.incoming);
+      ++transfers_;
+      reply(sess, "226 Transfer complete");
+    } else {
+      reply(sess, "426 Transfer aborted");
+    }
+    sess.incoming.clear();
+    sess.data.reset();
+  };
+}
+
+// ------------------------------------------------------------------ client
+
+FtpClient::FtpClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t ctrl_port,
+                     tcp::SocketOptions opts)
+    : tcp_(tcp) {
+  ctrl_ = tcp_.connect(server, ctrl_port, opts);
+  ctrl_->on_readable = [this] { on_ctrl_data(); };
+}
+
+FtpClient::~FtpClient() {
+  // Connections may outlive the client object; silence their callbacks.
+  for (auto& conn : {ctrl_, data_}) {
+    if (conn) {
+      conn->on_established = nullptr;
+      conn->on_readable = nullptr;
+      conn->on_peer_fin = nullptr;
+      conn->on_closed = nullptr;
+    }
+  }
+  if (data_port_ != 0) tcp_.close_listener(data_port_);
+}
+
+void FtpClient::on_ctrl_data() {
+  Bytes data;
+  ctrl_->recv(data);
+  for (std::uint8_t ch : data) {
+    if (ch == '\n') {
+      std::string line = std::move(linebuf_);
+      linebuf_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      on_reply(line);
+    } else {
+      linebuf_.push_back(static_cast<char>(ch));
+    }
+  }
+}
+
+void FtpClient::login(std::function<void(bool)> done) {
+  op_ = Op::kLogin;
+  op_done_ = std::move(done);
+  ctrl_->send(to_bytes("USER anonymous\r\n"));
+}
+
+void FtpClient::open_data_listener(
+    std::function<void(std::shared_ptr<tcp::Connection>)> on_conn) {
+  data_port_ = tcp_.allocate_ephemeral_port();
+  data_rx_.clear();
+  data_closed_ = false;
+  ctrl_226_ = false;
+  tcp_.listen(data_port_, [this, on_conn = std::move(on_conn)](
+                              std::shared_ptr<tcp::Connection> c) {
+    tcp_.close_listener(data_port_);
+    data_ = c;
+    data_opened_at_ = tcp_.simulator().now();
+    on_conn(std::move(c));
+  });
+}
+
+void FtpClient::get(const std::string& name, std::function<void(bool, Bytes)> done) {
+  op_ = Op::kPortForGet;
+  op_file_ = name;
+  op_done_get_ = std::move(done);
+  open_data_listener([this](std::shared_ptr<tcp::Connection> c) {
+    tcp::Connection* raw = c.get();
+    raw->on_readable = [this, raw] { raw->recv(data_rx_); };
+    raw->on_peer_fin = [raw] { raw->close(); };
+    raw->on_closed = [this](tcp::CloseReason) {
+      data_closed_ = true;
+      data_closed_at_ = tcp_.simulator().now();
+      maybe_finish_get();
+    };
+    if (raw->rx_available() > 0) raw->on_readable();
+  });
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "PORT %u\r\n", data_port_);
+  ctrl_->send(to_bytes(buf));
+}
+
+void FtpClient::put(const std::string& name, Bytes content,
+                    std::function<void(bool)> done) {
+  op_ = Op::kPortForPut;
+  op_file_ = name;
+  op_content_ = std::move(content);
+  op_done_ = std::move(done);
+  open_data_listener([this](std::shared_ptr<tcp::Connection> c) {
+    c->send(op_content_, [this] { put_written_at_ = tcp_.simulator().now(); });
+    c->close();
+  });
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "PORT %u\r\n", data_port_);
+  ctrl_->send(to_bytes(buf));
+}
+
+void FtpClient::maybe_finish_get() {
+  if (op_ == Op::kGet && data_closed_ && ctrl_226_) {
+    op_ = Op::kNone;
+    auto done = std::move(op_done_get_);
+    if (done) done(true, std::move(data_rx_));
+    data_rx_.clear();
+  }
+}
+
+void FtpClient::on_reply(const std::string& line) {
+  if (line.size() < 3) return;
+  const std::string code = line.substr(0, 3);
+  switch (op_) {
+    case Op::kLogin:
+      if (code == "230") {
+        op_ = Op::kNone;
+        if (op_done_) op_done_(true);
+      } else if (code == "530") {
+        op_ = Op::kNone;
+        if (op_done_) op_done_(false);
+      }
+      break;
+    case Op::kPortForGet:
+      if (code == "200") {
+        op_ = Op::kGet;
+        ctrl_->send(to_bytes("RETR " + op_file_ + "\r\n"));
+      }
+      break;
+    case Op::kPortForPut:
+      if (code == "200") {
+        op_ = Op::kPut;
+        ctrl_->send(to_bytes("STOR " + op_file_ + "\r\n"));
+      }
+      break;
+    case Op::kGet:
+      if (code == "226") {
+        ctrl_226_ = true;
+        maybe_finish_get();
+      } else if (code == "550" || code == "426" || code == "503") {
+        op_ = Op::kNone;
+        if (op_done_get_) op_done_get_(false, {});
+      }
+      break;
+    case Op::kPut:
+      if (code == "226") {
+        op_ = Op::kNone;
+        if (op_done_) op_done_(true);
+      } else if (code == "426" || code == "503") {
+        op_ = Op::kNone;
+        if (op_done_) op_done_(false);
+      }
+      break;
+    case Op::kNone:
+      break;
+  }
+}
+
+void FtpClient::quit() {
+  ctrl_->send(to_bytes("QUIT\r\n"));
+  ctrl_->close();
+}
+
+}  // namespace tfo::apps

@@ -1,0 +1,116 @@
+// A compact FTP (RFC 959 subset) in *active* mode — the paper's §9
+// real-world application. Active mode matters here: every data transfer
+// has the **server** open a connection from its data port (20) to an
+// ephemeral listener on the client, which exercises the §7.2
+// server-initiated establishment path of the failover bridge.
+//
+// Control-channel subset: USER, PORT <port>, RETR <file>, STOR <file>,
+// QUIT. Files live in an in-memory filesystem (identical across replicas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+class FtpServer {
+ public:
+  struct Params {
+    std::uint16_t ctrl_port = 21;
+    std::uint16_t data_port = 20;
+    tcp::SocketOptions opts;  // applied to the control listener and data conns
+  };
+
+  FtpServer(tcp::TcpLayer& tcp, Params params);
+  explicit FtpServer(tcp::TcpLayer& tcp) : FtpServer(tcp, Params{}) {}
+
+  void add_file(const std::string& name, Bytes content) {
+    fs_[name] = std::move(content);
+  }
+  const std::map<std::string, Bytes>& files() const { return fs_; }
+  std::uint64_t transfers_completed() const { return transfers_; }
+
+ private:
+  struct Session {
+    std::shared_ptr<tcp::Connection> ctrl;
+    std::string linebuf;
+    bool authed = false;
+    std::uint16_t client_data_port = 0;
+    std::shared_ptr<tcp::Connection> data;
+    Bytes incoming;
+    std::string stor_name;
+  };
+
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  void on_line(tcp::Connection* ctrl, const std::string& line);
+  void start_retr(Session& s, const std::string& name);
+  void start_stor(Session& s, const std::string& name);
+  void reply(Session& s, const std::string& text);
+
+  tcp::TcpLayer& tcp_;
+  Params params_;
+  std::map<std::string, Bytes> fs_;
+  std::unordered_map<tcp::Connection*, Session> sessions_;
+  std::uint64_t transfers_ = 0;
+};
+
+class FtpClient {
+ public:
+  FtpClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t ctrl_port = 21,
+            tcp::SocketOptions opts = {});
+  ~FtpClient();
+
+  /// Sends USER; `done(true)` once the server accepts.
+  void login(std::function<void(bool)> done);
+  /// Downloads `name`; done(ok, content).
+  void get(const std::string& name, std::function<void(bool, Bytes)> done);
+  /// Uploads `content` as `name`; done(ok).
+  void put(const std::string& name, Bytes content, std::function<void(bool)> done);
+  void quit();
+
+  bool control_open() const {
+    return ctrl_ && ctrl_->state() == tcp::TcpState::kEstablished;
+  }
+
+  // Transfer timing, for rate reporting "as indicated by the FTP client"
+  // (paper Figure 6): the data-connection open/close instants and, for
+  // uploads, the instant the payload was fully written to the stack.
+  SimTime data_opened_at() const { return data_opened_at_; }
+  SimTime data_closed_at() const { return data_closed_at_; }
+  SimTime put_written_at() const { return put_written_at_; }
+
+ private:
+  void on_ctrl_data();
+  void on_reply(const std::string& line);
+  void open_data_listener(std::function<void(std::shared_ptr<tcp::Connection>)> on_conn);
+
+  tcp::TcpLayer& tcp_;
+  std::shared_ptr<tcp::Connection> ctrl_;
+  std::string linebuf_;
+
+  // One operation in flight at a time (FTP control is sequential).
+  enum class Op { kNone, kLogin, kPortForGet, kGet, kPortForPut, kPut };
+  Op op_ = Op::kNone;
+  std::string op_file_;
+  Bytes op_content_;
+  std::function<void(bool)> op_done_;
+  std::function<void(bool, Bytes)> op_done_get_;
+
+  std::uint16_t data_port_ = 0;
+  std::shared_ptr<tcp::Connection> data_;
+  Bytes data_rx_;
+  bool data_closed_ = false;
+  bool ctrl_226_ = false;
+  SimTime data_opened_at_ = 0;
+  SimTime data_closed_at_ = 0;
+  SimTime put_written_at_ = 0;
+  void maybe_finish_get();
+};
+
+}  // namespace tfo::apps

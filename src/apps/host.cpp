@@ -1,0 +1,34 @@
+#include "apps/host.hpp"
+
+namespace tfo::apps {
+
+Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
+    : sim_(sim), params_(std::move(params)) {
+  nic_ = std::make_unique<net::Nic>(sim_, params_.name + ".eth0",
+                                    net::MacAddress::from_id(params_.addr.v),
+                                    params_.nic);
+  ip_ = std::make_unique<ip::IpLayer>(sim_);
+  arp_ = std::make_unique<ip::ArpEntity>(
+      sim_, *nic_, [this] { return ip_->local_addresses(); }, params_.arp);
+  ip_->add_interface({nic_.get(), arp_.get(), params_.addr, params_.prefix_len});
+  tcp_ = std::make_unique<tcp::TcpLayer>(sim_, *ip_, params_.tcp, params_.seed);
+
+  nic_->set_rx_handler([this](const net::EthernetFrame& frame, bool to_us) {
+    switch (frame.type) {
+      case net::EtherType::kArp:
+        arp_->handle_frame(frame);
+        break;
+      case net::EtherType::kIpv4:
+        ip_->handle_frame(frame, to_us);
+        break;
+    }
+  });
+  nic_->attach(medium);
+}
+
+void Host::fail() {
+  failed_ = true;
+  nic_->set_enabled(false);
+}
+
+}  // namespace tfo::apps

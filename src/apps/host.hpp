@@ -1,0 +1,62 @@
+// A simulated host: NIC + ARP + IP + TCP wired together, with a fail-stop
+// switch. Hosts are protocol-stack-complete but bridge-agnostic — the
+// failover machinery in src/core attaches to a host via the IP hook and
+// TCP tap interfaces, exactly as the paper inserts its bridge between the
+// TCP and IP layers of the server kernels.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ip/arp.hpp"
+#include "ip/ip_layer.hpp"
+#include "net/medium.hpp"
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+struct HostParams {
+  std::string name = "host";
+  ip::Ipv4 addr;
+  int prefix_len = 24;
+  net::NicParams nic;
+  ip::ArpParams arp;
+  tcp::TcpParams tcp;
+  /// Seed for this host's ISN generator and other local randomness.
+  std::uint64_t seed = 7;
+};
+
+class Host {
+ public:
+  Host(sim::Simulator& sim, HostParams params, net::Medium& medium);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Nic& nic() { return *nic_; }
+  ip::ArpEntity& arp() { return *arp_; }
+  ip::IpLayer& ip() { return *ip_; }
+  tcp::TcpLayer& tcp() { return *tcp_; }
+
+  ip::Ipv4 address() const { return params_.addr; }
+  const std::string& name() const { return params_.name; }
+
+  void set_default_gateway(ip::Ipv4 gw) { ip_->set_default_gateway(gw); }
+
+  /// Fail-stop: the host goes silent instantly and forever.
+  void fail();
+  bool failed() const { return failed_; }
+
+ private:
+  sim::Simulator& sim_;
+  HostParams params_;
+  std::unique_ptr<net::Nic> nic_;
+  std::unique_ptr<ip::ArpEntity> arp_;
+  std::unique_ptr<ip::IpLayer> ip_;
+  std::unique_ptr<tcp::TcpLayer> tcp_;
+  bool failed_ = false;
+};
+
+}  // namespace tfo::apps

@@ -1,0 +1,126 @@
+#include "apps/http.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tfo::apps {
+
+HttpServer::HttpServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts) {
+  tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+             opts);
+}
+
+void HttpServer::add_document(const std::string& path, Bytes body,
+                              std::string content_type) {
+  docs_[path] = {std::move(body), std::move(content_type)};
+}
+
+void HttpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  sessions_[raw] = {std::move(conn), {}};
+  raw->on_readable = [this, raw] {
+    auto it = sessions_.find(raw);
+    if (it == sessions_.end()) return;
+    Bytes data;
+    raw->recv(data);
+    it->second.buf += to_string(data);
+    // A complete HTTP/1.0 request ends with an empty line.
+    const auto end = it->second.buf.find("\r\n\r\n");
+    if (end == std::string::npos) return;
+    handle_request(raw, it->second.buf.substr(0, end));
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+void HttpServer::handle_request(tcp::Connection* conn, const std::string& request) {
+  ++requests_;
+  char method[8] = {0};
+  char path[512] = {0};
+  std::sscanf(request.c_str(), "%7s %511s", method, path);
+  const std::string m = method;
+  const bool head = m == "HEAD";
+
+  std::ostringstream head_out;
+  Bytes body;
+  auto it = docs_.find(path);
+  if ((m != "GET" && !head)) {
+    head_out << "HTTP/1.0 501 Not Implemented\r\nContent-Length: 0\r\n\r\n";
+  } else if (it == docs_.end()) {
+    ++not_found_;
+    const std::string msg = "<html><body>404 not found</body></html>";
+    head_out << "HTTP/1.0 404 Not Found\r\nContent-Type: text/html\r\n"
+             << "Content-Length: " << msg.size() << "\r\n\r\n";
+    if (!head) body = to_bytes(msg);
+  } else {
+    head_out << "HTTP/1.0 200 OK\r\nContent-Type: " << it->second.content_type
+             << "\r\nContent-Length: " << it->second.body.size() << "\r\n\r\n";
+    if (!head) body = it->second.body;
+  }
+  Bytes response = to_bytes(head_out.str());
+  append(response, body);
+  conn->send(std::move(response));
+  conn->close();  // HTTP/1.0: one response, then server closes
+}
+
+// ------------------------------------------------------------------ client
+
+HttpClient::HttpClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t port)
+    : tcp_(tcp), server_(server), port_(port) {}
+
+HttpClient::~HttpClient() { detach(); }
+
+void HttpClient::detach() {
+  // The connection may outlive this object (teardown in flight); its
+  // callbacks must never fire into freed memory.
+  if (conn_) {
+    conn_->on_established = nullptr;
+    conn_->on_readable = nullptr;
+    conn_->on_peer_fin = nullptr;
+    conn_->on_closed = nullptr;
+  }
+}
+
+void HttpClient::get(const std::string& path, Handler done) {
+  detach();
+  done_ = std::move(done);
+  finished_ = false;
+  raw_.clear();
+  conn_ = tcp_.connect(server_, port_, {.nodelay = true});
+  conn_->on_established = [this, path] {
+    conn_->send(to_bytes("GET " + path + " HTTP/1.0\r\n\r\n"));
+  };
+  conn_->on_readable = [this] { conn_->recv(raw_); };
+  conn_->on_peer_fin = [this] {
+    conn_->recv(raw_);
+    conn_->close();
+    finish();
+  };
+  conn_->on_closed = [this](tcp::CloseReason reason) {
+    if (reason != tcp::CloseReason::kGraceful && !finished_) {
+      finished_ = true;
+      if (done_) done_(false, {});
+      return;
+    }
+    finish();
+  };
+}
+
+void HttpClient::finish() {
+  if (finished_) return;
+  finished_ = true;
+  Response resp;
+  const std::string text = to_string(raw_);
+  const auto header_end = text.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (done_) done_(false, {});
+    return;
+  }
+  resp.headers = text.substr(0, header_end);
+  std::sscanf(resp.headers.c_str(), "HTTP/1.0 %d", &resp.status);
+  resp.body.assign(raw_.begin() + static_cast<long>(header_end + 4), raw_.end());
+  if (done_) done_(true, std::move(resp));
+}
+
+}  // namespace tfo::apps

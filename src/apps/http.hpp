@@ -1,0 +1,80 @@
+// A compact HTTP/1.0 server and client — the paper's introduction
+// motivates exactly this deployment: "a replicated Web server that
+// accepts connection requests from unreplicated clients" (§1).
+//
+// Server: GET/HEAD over a static in-memory document tree, one request
+// per connection (HTTP/1.0 semantics, server closes after the response).
+// Responses are a pure function of the request, so replicas are
+// deterministic as the failover system requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+class HttpServer {
+ public:
+  HttpServer(tcp::TcpLayer& tcp, std::uint16_t port = 80, tcp::SocketOptions opts = {});
+
+  /// Publishes a document at `path` (e.g. "/index.html").
+  void add_document(const std::string& path, Bytes body,
+                    std::string content_type = "text/html");
+
+  std::uint64_t requests_served() const { return requests_; }
+  std::uint64_t responses_404() const { return not_found_; }
+
+ private:
+  struct Document {
+    Bytes body;
+    std::string content_type;
+  };
+  struct Session {
+    std::shared_ptr<tcp::Connection> conn;
+    std::string buf;
+  };
+
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  void handle_request(tcp::Connection* conn, const std::string& request);
+
+  std::map<std::string, Document> docs_;
+  std::unordered_map<tcp::Connection*, Session> sessions_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t not_found_ = 0;
+};
+
+/// One-shot HTTP/1.0 client: connect, GET, collect the response, close.
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::string headers;  // raw header block
+    Bytes body;
+  };
+  using Handler = std::function<void(bool ok, Response)>;
+
+  HttpClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t port = 80);
+  ~HttpClient();
+
+  /// Issues `GET path`; `done` fires when the server closes the response.
+  void get(const std::string& path, Handler done);
+
+ private:
+  void finish();
+  void detach();
+  tcp::TcpLayer& tcp_;
+  ip::Ipv4 server_;
+  std::uint16_t port_;
+  std::shared_ptr<tcp::Connection> conn_;
+  Bytes raw_;
+  Handler done_;
+  bool finished_ = false;
+};
+
+}  // namespace tfo::apps

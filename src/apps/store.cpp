@@ -1,0 +1,142 @@
+#include "apps/store.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tfo::apps {
+
+std::vector<StoreItem> default_catalog() {
+  return {
+      {"espresso-machine", 24999, 12},
+      {"grinder", 8999, 40},
+      {"kettle", 3499, 100},
+      {"scale", 2199, 7},
+      {"filter-papers", 499, 500},
+  };
+}
+
+StoreServer::StoreServer(tcp::TcpLayer& tcp, std::uint16_t port,
+                         std::vector<StoreItem> catalog, tcp::SocketOptions opts)
+    : catalog_(std::move(catalog)) {
+  tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) { on_accept(std::move(c)); },
+             opts);
+}
+
+void StoreServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
+  tcp::Connection* raw = conn.get();
+  Session s;
+  s.conn = std::move(conn);
+  for (const auto& item : catalog_) s.stock[item.name] = item.stock;
+  sessions_.emplace(raw, std::move(s));
+
+  raw->on_readable = [this, raw] {
+    auto it = sessions_.find(raw);
+    if (it == sessions_.end()) return;
+    Bytes data;
+    raw->recv(data);
+    for (std::uint8_t ch : data) {
+      if (ch != '\n') {
+        it->second.linebuf.push_back(static_cast<char>(ch));
+        continue;
+      }
+      std::string line = std::move(it->second.linebuf);
+      it->second.linebuf.clear();
+      ++requests_;
+      const std::string reply = handle(it->second, line);
+      if (!reply.empty()) raw->send(to_bytes(reply));
+      if (line == "QUIT") {
+        raw->close();
+        return;
+      }
+    }
+  };
+  raw->on_peer_fin = [raw] { raw->close(); };
+  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  if (raw->rx_available() > 0) raw->on_readable();
+}
+
+std::string StoreServer::handle(Session& s, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  auto find_item = [&](const std::string& name) -> const StoreItem* {
+    for (const auto& item : catalog_) {
+      if (item.name == name) return &item;
+    }
+    return nullptr;
+  };
+
+  if (cmd == "LIST") {
+    std::ostringstream out;
+    for (const auto& item : catalog_) {
+      out << "ITEM " << item.name << ' ' << item.price_cents << ' '
+          << s.stock[item.name] << '\n';
+    }
+    out << "END\n";
+    return out.str();
+  }
+  if (cmd == "BROWSE") {
+    std::string name;
+    in >> name;
+    const StoreItem* item = find_item(name);
+    if (item == nullptr) return "NOITEM\n";
+    std::ostringstream out;
+    out << "ITEM " << item->name << ' ' << item->price_cents << ' '
+        << s.stock[item->name] << '\n';
+    return out.str();
+  }
+  if (cmd == "BUY") {
+    std::string name;
+    std::uint32_t qty = 0;
+    in >> name >> qty;
+    const StoreItem* item = find_item(name);
+    if (item == nullptr) return "NOITEM\n";
+    if (qty == 0 || s.stock[name] < qty) return "NOSTOCK\n";
+    s.stock[name] -= qty;
+    ++orders_;
+    std::ostringstream out;
+    out << "OK " << s.next_order++ << ' ' << item->price_cents * qty << '\n';
+    return out.str();
+  }
+  if (cmd == "QUIT") return "BYE\n";
+  return "ERR\n";
+}
+
+// ----------------------------------------------------------------- client
+
+StoreClient::StoreClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t port,
+                         tcp::SocketOptions opts) {
+  conn_ = tcp.connect(server, port, opts);
+  conn_->on_readable = [this] { on_data(); };
+  conn_->on_closed = [this](tcp::CloseReason) { closed_ = true; };
+}
+
+StoreClient::~StoreClient() {
+  // The connection may outlive the client object; silence its callbacks.
+  if (conn_) {
+    conn_->on_readable = nullptr;
+    conn_->on_closed = nullptr;
+  }
+}
+
+void StoreClient::on_data() {
+  Bytes data;
+  conn_->recv(data);
+  for (std::uint8_t ch : data) {
+    if (ch == '\n') {
+      replies_.push_back(std::move(linebuf_));
+      linebuf_.clear();
+    } else {
+      linebuf_.push_back(static_cast<char>(ch));
+    }
+  }
+}
+
+void StoreClient::request(const std::string& line) { conn_->send(to_bytes(line + "\n")); }
+
+void StoreClient::quit() {
+  request("QUIT");
+  conn_->close();
+}
+
+}  // namespace tfo::apps

@@ -1,0 +1,92 @@
+// A deterministic on-line store — the paper's own example of a service
+// suitable for active replication ("An on-line store is an example of a
+// deterministic service", §1). Replies are a pure function of the request
+// sequence on a connection, so the primary and secondary replicas produce
+// byte-identical streams.
+//
+// Line protocol (requests and replies newline-terminated):
+//   LIST               -> "ITEM <name> <price-cents> <stock>" per item, "END"
+//   BROWSE <name>      -> "ITEM <name> <price-cents> <stock>" | "NOITEM"
+//   BUY <name> <qty>   -> "OK <order-id> <total-cents>" | "NOSTOCK" | "NOITEM"
+//   QUIT               -> "BYE" and server-side close
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+struct StoreItem {
+  std::string name;
+  std::uint32_t price_cents;
+  std::uint32_t stock;
+};
+
+/// The default demo catalog (identical on every replica).
+std::vector<StoreItem> default_catalog();
+
+class StoreServer {
+ public:
+  StoreServer(tcp::TcpLayer& tcp, std::uint16_t port,
+              std::vector<StoreItem> catalog = default_catalog(),
+              tcp::SocketOptions opts = {});
+
+  std::uint64_t orders_placed() const { return orders_; }
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  struct Session {
+    std::shared_ptr<tcp::Connection> conn;
+    std::string linebuf;
+    /// Per-connection inventory view and order counter: state is scoped
+    /// to the connection so replies stay deterministic per connection
+    /// regardless of how other clients interleave (the determinism model
+    /// the paper assumes; see DESIGN.md).
+    std::map<std::string, std::uint32_t> stock;
+    std::uint32_t next_order = 1;
+  };
+
+  void on_accept(std::shared_ptr<tcp::Connection> conn);
+  std::string handle(Session& s, const std::string& line);
+
+  std::vector<StoreItem> catalog_;
+  std::unordered_map<tcp::Connection*, Session> sessions_;
+  std::uint64_t orders_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+/// A scripted store client used by examples and tests: sends requests one
+/// at a time and collects the replies.
+class StoreClient {
+ public:
+  StoreClient(tcp::TcpLayer& tcp, ip::Ipv4 server, std::uint16_t port,
+              tcp::SocketOptions opts = {});
+  ~StoreClient();
+
+  /// Queues a request (without trailing newline). Replies accumulate in
+  /// replies() in order.
+  void request(const std::string& line);
+  void quit();
+
+  const std::vector<std::string>& replies() const { return replies_; }
+  bool connected() const {
+    return conn_ && conn_->state() == tcp::TcpState::kEstablished;
+  }
+  bool closed() const { return closed_; }
+  tcp::Connection& connection() { return *conn_; }
+
+ private:
+  void on_data();
+  std::shared_ptr<tcp::Connection> conn_;
+  std::string linebuf_;
+  std::vector<std::string> replies_;
+  bool closed_ = false;
+};
+
+}  // namespace tfo::apps

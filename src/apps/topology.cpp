@@ -1,0 +1,106 @@
+#include "apps/topology.hpp"
+
+namespace tfo::apps {
+
+namespace {
+
+HostParams host_params(const char* name, const char* addr, const LanParams& p,
+                       std::uint64_t seed) {
+  HostParams hp;
+  hp.name = name;
+  hp.addr = ip::Ipv4::parse(addr);
+  hp.nic = p.nic;
+  hp.arp = p.arp;
+  hp.tcp = p.tcp;
+  hp.seed = seed;
+  return hp;
+}
+
+void warm_pair(Host& a, Host& b) {
+  a.arp().add_static(b.address(), b.nic().mac());
+  b.arp().add_static(a.address(), a.nic().mac());
+}
+
+}  // namespace
+
+std::unique_ptr<Lan> make_lan(LanParams params) {
+  auto lan = std::make_unique<Lan>();
+  lan->wire = std::make_unique<net::SharedMedium>(lan->sim, params.medium);
+  lan->client = std::make_unique<Host>(
+      lan->sim, host_params("client", Lan::kClientAddr, params, params.seed + 1),
+      *lan->wire);
+  lan->primary = std::make_unique<Host>(
+      lan->sim, host_params("primary", Lan::kPrimaryAddr, params, params.seed + 2),
+      *lan->wire);
+  lan->secondary = std::make_unique<Host>(
+      lan->sim, host_params("secondary", Lan::kSecondaryAddr, params, params.seed + 3),
+      *lan->wire);
+  if (params.with_backend) {
+    lan->backend = std::make_unique<Host>(
+        lan->sim, host_params("backend", Lan::kBackendAddr, params, params.seed + 4),
+        *lan->wire);
+  }
+  if (params.warm_arp) {
+    warm_pair(*lan->client, *lan->primary);
+    warm_pair(*lan->client, *lan->secondary);
+    warm_pair(*lan->primary, *lan->secondary);
+    if (lan->backend) {
+      warm_pair(*lan->backend, *lan->primary);
+      warm_pair(*lan->backend, *lan->secondary);
+      warm_pair(*lan->backend, *lan->client);
+    }
+  }
+  return lan;
+}
+
+std::unique_ptr<Wan> make_wan(WanParams params) {
+  auto wan = std::make_unique<Wan>();
+  wan->lan_wire = std::make_unique<net::SharedMedium>(wan->sim, params.lan_medium);
+  wan->wan_wire = std::make_unique<net::PointToPointLink>(wan->sim, params.wan_link);
+
+  LanParams lp;
+  lp.nic = params.nic;
+  lp.arp = params.arp;
+  lp.tcp = params.tcp;
+
+  wan->primary = std::make_unique<Host>(
+      wan->sim, host_params("primary", Wan::kPrimaryAddr, lp, params.seed + 2),
+      *wan->lan_wire);
+  wan->secondary = std::make_unique<Host>(
+      wan->sim, host_params("secondary", Wan::kSecondaryAddr, lp, params.seed + 3),
+      *wan->lan_wire);
+  wan->client = std::make_unique<Host>(
+      wan->sim, host_params("client", Wan::kClientAddr, lp, params.seed + 1),
+      *wan->wan_wire);
+
+  wan->router = std::make_unique<ip::Router>(wan->sim, "router");
+  wan->router->add_port(*wan->lan_wire, ip::Ipv4::parse(Wan::kRouterLanAddr), 24,
+                        params.nic, params.router_arp);
+  wan->router->add_port(*wan->wan_wire, ip::Ipv4::parse(Wan::kRouterWanAddr), 24,
+                        params.nic, params.router_arp);
+
+  const auto gw_lan = ip::Ipv4::parse(Wan::kRouterLanAddr);
+  const auto gw_wan = ip::Ipv4::parse(Wan::kRouterWanAddr);
+  wan->primary->set_default_gateway(gw_lan);
+  wan->secondary->set_default_gateway(gw_lan);
+  wan->client->set_default_gateway(gw_wan);
+
+  if (params.warm_arp) {
+    wan->primary->arp().add_static(wan->secondary->address(),
+                                   wan->secondary->nic().mac());
+    wan->secondary->arp().add_static(wan->primary->address(),
+                                     wan->primary->nic().mac());
+    wan->primary->arp().add_static(gw_lan, wan->router->nic(0).mac());
+    wan->secondary->arp().add_static(gw_lan, wan->router->nic(0).mac());
+    wan->client->arp().add_static(gw_wan, wan->router->nic(1).mac());
+    wan->router->arp(0).add_static(wan->primary->address(),
+                                   wan->primary->nic().mac());
+    wan->router->arp(0).add_static(wan->secondary->address(),
+                                   wan->secondary->nic().mac());
+    wan->router->arp(1).add_static(wan->client->address(),
+                                   wan->client->nic().mac());
+  }
+  return wan;
+}
+
+}  // namespace tfo::apps

@@ -1,0 +1,81 @@
+// Canned topologies matching the paper's testbeds.
+//
+//   Lan — one shared 100 Mb/s Ethernet segment with a client C, primary
+//         server P, secondary server S, and an optional unreplicated
+//         back-end host T (for §7.2 server-initiated connections).
+//         This is the §9 measurement setup.
+//
+//   Wan — the same server LAN behind a router, with the client across a
+//         bandwidth/latency/loss-shaped point-to-point link: the Figure 6
+//         FTP environment.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "apps/host.hpp"
+#include "ip/router.hpp"
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfo::apps {
+
+struct LanParams {
+  net::SharedMediumParams medium;
+  net::NicParams nic;
+  tcp::TcpParams tcp;
+  ip::ArpParams arp;
+  bool with_backend = false;
+  std::uint64_t seed = 11;
+  /// Pre-populate every ARP cache (the paper warmed caches before timing).
+  bool warm_arp = true;
+};
+
+struct Lan {
+  sim::Simulator sim;
+  std::unique_ptr<net::SharedMedium> wire;
+  std::unique_ptr<Host> client;
+  std::unique_ptr<Host> primary;
+  std::unique_ptr<Host> secondary;
+  std::unique_ptr<Host> backend;  // optional unreplicated server T
+
+  static constexpr const char* kClientAddr = "10.0.0.10";
+  static constexpr const char* kPrimaryAddr = "10.0.0.1";
+  static constexpr const char* kSecondaryAddr = "10.0.0.2";
+  static constexpr const char* kBackendAddr = "10.0.0.3";
+};
+
+std::unique_ptr<Lan> make_lan(LanParams params = {});
+
+struct WanParams {
+  net::SharedMediumParams lan_medium;
+  net::PointToPointParams wan_link;
+  net::NicParams nic;
+  tcp::TcpParams tcp;
+  ip::ArpParams arp;
+  /// Extra latency before the router's ARP cache reflects an update
+  /// (stretches the paper's takeover interval T).
+  ip::ArpParams router_arp;
+  std::uint64_t seed = 12;
+  bool warm_arp = true;
+};
+
+struct Wan {
+  sim::Simulator sim;
+  std::unique_ptr<net::SharedMedium> lan_wire;
+  std::unique_ptr<net::PointToPointLink> wan_wire;
+  std::unique_ptr<ip::Router> router;
+  std::unique_ptr<Host> client;  // across the WAN
+  std::unique_ptr<Host> primary;
+  std::unique_ptr<Host> secondary;
+
+  static constexpr const char* kClientAddr = "192.168.1.10";
+  static constexpr const char* kRouterWanAddr = "192.168.1.254";
+  static constexpr const char* kRouterLanAddr = "10.0.0.254";
+  static constexpr const char* kPrimaryAddr = "10.0.0.1";
+  static constexpr const char* kSecondaryAddr = "10.0.0.2";
+};
+
+std::unique_ptr<Wan> make_wan(WanParams params = {});
+
+}  // namespace tfo::apps

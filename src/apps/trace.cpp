@@ -1,0 +1,96 @@
+#include "apps/trace.hpp"
+
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "ip/datagram.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::apps {
+
+std::string TraceRecord::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "[" << static_cast<double>(at) / 1e3 << "us] " << nic
+     << (to_us ? "" : " (promisc)") << " ";
+  if (!has_ip) {
+    os << (type == net::EtherType::kArp ? "ARP" : "ETH") << " " << src_mac.str() << " > "
+       << dst_mac.str();
+    return os.str();
+  }
+  os << src_ip.str();
+  if (has_tcp) os << ":" << src_port;
+  os << " > " << dst_ip.str();
+  if (has_tcp) os << ":" << dst_port;
+  if (!has_tcp) {
+    os << " proto=" << static_cast<int>(proto);
+    return os.str();
+  }
+  os << " [";
+  if (flags & tcp::Flags::kSyn) os << "S";
+  if (flags & tcp::Flags::kFin) os << "F";
+  if (flags & tcp::Flags::kRst) os << "R";
+  if (flags & tcp::Flags::kPsh) os << "P";
+  if (flags & tcp::Flags::kAck) os << ".";
+  os << "] seq=" << seq << " ack=" << ack << " win=" << window
+     << " len=" << payload_len;
+  if (has_orig_dst_option) os << " odst";
+  return os.str();
+}
+
+TraceRecord FrameTracer::decode(const net::EthernetFrame& frame, bool to_us, SimTime at,
+                                const std::string& nic_name) {
+  TraceRecord r;
+  r.at = at;
+  r.nic = nic_name;
+  r.to_us = to_us;
+  r.src_mac = frame.src;
+  r.dst_mac = frame.dst;
+  r.type = frame.type;
+  if (frame.type != net::EtherType::kIpv4) return r;
+  auto dgram = ip::IpDatagram::parse(frame.payload);
+  if (!dgram) return r;
+  r.has_ip = true;
+  r.src_ip = dgram->src;
+  r.dst_ip = dgram->dst;
+  r.proto = static_cast<std::uint8_t>(dgram->proto);
+  if (dgram->proto != ip::Proto::kTcp) return r;
+  auto seg = tcp::TcpSegment::parse(dgram->payload, dgram->src, dgram->dst);
+  if (!seg) return r;
+  r.has_tcp = true;
+  r.src_port = seg->src_port;
+  r.dst_port = seg->dst_port;
+  r.seq = seg->seq;
+  r.ack = seg->ack;
+  r.flags = seg->flags;
+  r.window = seg->window;
+  r.payload_len = seg->payload.size();
+  r.has_orig_dst_option = seg->orig_dst.has_value();
+  return r;
+}
+
+FrameTracer::FrameTracer(sim::Simulator& sim, net::Nic& nic, bool capture_promiscuous)
+    : sim_(sim), nic_name_(nic.name()), capture_promiscuous_(capture_promiscuous) {
+  nic.add_observer([this](const net::EthernetFrame& frame, bool to_us) {
+    if (!to_us && !capture_promiscuous_) return;
+    records_.push_back(decode(frame, to_us, sim_.now(), nic_name_));
+  });
+}
+
+std::size_t FrameTracer::count(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (pred(r)) ++n;
+  }
+  return n;
+}
+
+std::string FrameTracer::dump() const {
+  std::ostringstream os;
+  for (const auto& r : records_) os << r.summary() << '\n';
+  return os.str();
+}
+
+}  // namespace tfo::apps

@@ -1,0 +1,76 @@
+// Frame tracing: a tcpdump-style observer that records every frame a NIC
+// hands up (or a promiscuous tap sees), decoding Ethernet/IP/TCP headers
+// into one-line summaries. Used by tests to assert wire-level behaviour
+// and by humans to debug protocol interactions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ip/addr.hpp"
+#include "net/frame.hpp"
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfo::apps {
+
+/// One decoded frame observation.
+struct TraceRecord {
+  SimTime at = 0;
+  std::string nic;       // capture point
+  bool to_us = true;     // false: promiscuous capture
+  net::MacAddress src_mac, dst_mac;
+  net::EtherType type = net::EtherType::kIpv4;
+
+  // IP layer (valid when `has_ip`).
+  bool has_ip = false;
+  ip::Ipv4 src_ip, dst_ip;
+  std::uint8_t proto = 0;
+
+  // TCP layer (valid when `has_tcp`).
+  bool has_tcp = false;
+  std::uint16_t src_port = 0, dst_port = 0;
+  std::uint32_t seq = 0, ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::size_t payload_len = 0;
+  bool has_orig_dst_option = false;
+
+  /// tcpdump-ish one-liner.
+  std::string summary() const;
+};
+
+/// Attaches to a NIC as a passive observer and records everything the NIC
+/// receives. The tracer must outlive the traffic of interest and the NIC
+/// must outlive the tracer's registration (in practice: construct the
+/// tracer after the host, keep both for the run).
+class FrameTracer {
+ public:
+  /// `capture_promiscuous`: also record frames not addressed to the NIC.
+  FrameTracer(sim::Simulator& sim, net::Nic& nic, bool capture_promiscuous = true);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records matching a predicate.
+  std::size_t count(const std::function<bool(const TraceRecord&)>& pred) const;
+
+  /// Renders the whole capture, one line per frame.
+  std::string dump() const;
+
+  /// Decodes a frame into a record (no capture side effects); exposed for
+  /// tests and ad-hoc tooling.
+  static TraceRecord decode(const net::EthernetFrame& frame, bool to_us, SimTime at,
+                            const std::string& nic_name);
+
+ private:
+  sim::Simulator& sim_;
+  std::string nic_name_;
+  bool capture_promiscuous_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace tfo::apps

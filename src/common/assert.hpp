@@ -1,0 +1,18 @@
+// Internal invariant checking, active in all build types.
+//
+// TFO_ASSERT guards *programming* invariants of this library. Violations of
+// protocol expectations by peers (e.g. a bad checksum off the wire) are
+// handled as data, never asserted.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TFO_ASSERT(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "TFO_ASSERT failed at %s:%d: %s — %s\n", __FILE__,  \
+                   __LINE__, #cond, (msg));                                    \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)

@@ -1,0 +1,71 @@
+// Byte-sequence helpers shared by every layer of the stack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfo {
+
+/// The universal payload type: a contiguous, owned run of octets.
+using Bytes = std::vector<std::uint8_t>;
+
+/// A non-owning view of octets.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from arbitrary text (useful for line-based app protocols).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte run as text.
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Big-endian field writers/readers used by all wire formats.
+inline void put_u8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+inline void put_u16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+inline void put_u32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline std::uint8_t get_u8(BytesView b, std::size_t off) { return b[off]; }
+inline std::uint16_t get_u16(BytesView b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+inline std::uint32_t get_u32(BytesView b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+/// Overwrites a big-endian u16 in place (header field rewrite).
+inline void set_u16(Bytes& b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+/// Overwrites a big-endian u32 in place (header field rewrite).
+inline void set_u32(Bytes& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace tfo

@@ -1,0 +1,40 @@
+#include "common/checksum.hpp"
+
+namespace tfo {
+
+std::uint16_t ones_complement_sum(BytesView data, std::uint32_t initial) {
+  std::uint64_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);  // pad final odd byte
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t inet_checksum(BytesView data) {
+  return static_cast<std::uint16_t>(~ones_complement_sum(data) & 0xffff);
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_ck, std::uint16_t old_word,
+                                std::uint16_t new_word) {
+  // RFC 1624: HC' = ~(~HC + ~m + m'), all in one's-complement arithmetic.
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_ck);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum_update32(std::uint16_t old_ck, std::uint32_t old_val,
+                                std::uint32_t new_val) {
+  std::uint16_t ck = checksum_update16(old_ck, static_cast<std::uint16_t>(old_val >> 16),
+                                       static_cast<std::uint16_t>(new_val >> 16));
+  return checksum_update16(ck, static_cast<std::uint16_t>(old_val & 0xffff),
+                           static_cast<std::uint16_t>(new_val & 0xffff));
+}
+
+}  // namespace tfo

@@ -1,0 +1,30 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The paper's bridge rewrites IP/TCP header fields in flight and fixes the
+// checksum incrementally ("we subtract the original bytes from the checksum,
+// and add the new bytes", §3.1). `checksum_update*` implements exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace tfo {
+
+/// One's-complement sum of a byte run, folded to 16 bits (not inverted).
+std::uint16_t ones_complement_sum(BytesView data, std::uint32_t initial = 0);
+
+/// Full Internet checksum of a byte run: ~fold(sum).
+std::uint16_t inet_checksum(BytesView data);
+
+/// Incrementally updates checksum `old_ck` after a 16-bit word changed from
+/// `old_word` to `new_word` (RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')).
+std::uint16_t checksum_update16(std::uint16_t old_ck, std::uint16_t old_word,
+                                std::uint16_t new_word);
+
+/// Incrementally updates checksum after a 32-bit field changed (e.g. an
+/// IPv4 address in the TCP pseudo-header).
+std::uint16_t checksum_update32(std::uint16_t old_ck, std::uint32_t old_val,
+                                std::uint32_t new_val);
+
+}  // namespace tfo

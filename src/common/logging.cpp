@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace tfo {
+
+LogConfig& log_config() {
+  static LogConfig cfg;
+  return cfg;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_config().level);
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void log_emit(LogLevel level, const std::string& component, const std::string& msg) {
+  if (!log_enabled(level)) return;
+  double t_us = 0.0;
+  if (log_config().clock) t_us = static_cast<double>(log_config().clock()) / 1e3;
+  std::fprintf(stderr, "[%12.1fus] %s %-10s %s\n", t_us, level_name(level),
+               component.c_str(), msg.c_str());
+}
+
+}  // namespace tfo

@@ -1,0 +1,60 @@
+// Minimal leveled logger with a pluggable simulated-clock source.
+//
+// The logger is process-global (the simulation is single-threaded by
+// design; see DESIGN.md). Tests and benches keep the level at kWarn to
+// stay quiet; examples raise it to show the protocol at work.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace tfo {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration.
+struct LogConfig {
+  LogLevel level = LogLevel::kWarn;
+  /// Supplies the current simulated time for timestamps; may be null.
+  std::function<SimTime()> clock;
+};
+
+LogConfig& log_config();
+
+/// True if messages at `level` would currently be emitted.
+bool log_enabled(LogLevel level);
+
+/// Emits one log line (no trailing newline needed).
+void log_emit(LogLevel level, const std::string& component, const std::string& msg);
+
+/// Stream-style log statement builder:
+///   TFO_LOG(kDebug, "tcp") << "snd_nxt=" << snd_nxt;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_emit(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace tfo
+
+#define TFO_LOG(level, component)                          \
+  if (!::tfo::log_enabled(::tfo::LogLevel::level)) {       \
+  } else                                                   \
+    ::tfo::LogLine(::tfo::LogLevel::level, (component))

@@ -1,0 +1,53 @@
+// Deterministic random-number utilities.
+//
+// Every source of randomness in the simulation (ISNs, loss models, workload
+// jitter) draws from an explicitly seeded Rng so that each experiment is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tfo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_()); }
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Derives an independent child generator (for per-host streams).
+  Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tfo

@@ -1,0 +1,69 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 modular comparisons).
+//
+// TCP sequence numbers live on a mod-2^32 circle; comparisons are only
+// meaningful for values within 2^31 of each other, which holds for any
+// live connection. `SeqUnwrapper` lifts circle values onto a monotone
+// 64-bit line so that containers can order them totally.
+#pragma once
+
+#include <cstdint>
+
+namespace tfo {
+
+using Seq32 = std::uint32_t;
+
+/// Signed circular distance from `b` to `a` (a - b on the seq circle).
+constexpr std::int32_t seq_diff(Seq32 a, Seq32 b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+constexpr bool seq_lt(Seq32 a, Seq32 b) { return seq_diff(a, b) < 0; }
+constexpr bool seq_le(Seq32 a, Seq32 b) { return seq_diff(a, b) <= 0; }
+constexpr bool seq_gt(Seq32 a, Seq32 b) { return seq_diff(a, b) > 0; }
+constexpr bool seq_ge(Seq32 a, Seq32 b) { return seq_diff(a, b) >= 0; }
+
+constexpr Seq32 seq_add(Seq32 a, std::int64_t n) {
+  return static_cast<Seq32>(a + static_cast<std::uint32_t>(n));
+}
+
+constexpr Seq32 seq_max(Seq32 a, Seq32 b) { return seq_gt(a, b) ? a : b; }
+constexpr Seq32 seq_min(Seq32 a, Seq32 b) { return seq_lt(a, b) ? a : b; }
+
+/// Maps 32-bit sequence numbers near a moving reference point onto a
+/// monotonically comparable 64-bit stream offset. The reference advances
+/// as larger values are observed, so a long-lived connection can wrap the
+/// 32-bit space arbitrarily many times.
+class SeqUnwrapper {
+ public:
+  /// `origin` is the initial sequence number mapping to offset 0.
+  explicit SeqUnwrapper(Seq32 origin = 0) : origin_(origin) {}
+
+  /// Unwraps `s` to a 64-bit offset relative to the origin. `s` must lie
+  /// within 2^31 of the highest offset seen so far (true for live TCP).
+  std::uint64_t unwrap(Seq32 s) const {
+    // Offset of s relative to the current epoch base.
+    const std::int32_t d = seq_diff(s, static_cast<Seq32>(origin_ + high_));
+    const std::int64_t off = static_cast<std::int64_t>(high_) + d;
+    return static_cast<std::uint64_t>(off);
+  }
+
+  /// Unwraps and advances the high-water mark.
+  std::uint64_t unwrap_advance(Seq32 s) {
+    const std::uint64_t off = unwrap(s);
+    if (off > high_) high_ = off;
+    return off;
+  }
+
+  /// Rewraps a 64-bit offset back onto the sequence circle.
+  Seq32 wrap(std::uint64_t off) const {
+    return static_cast<Seq32>(origin_ + static_cast<std::uint32_t>(off));
+  }
+
+  Seq32 origin() const { return origin_; }
+
+ private:
+  Seq32 origin_;
+  std::uint64_t high_ = 0;
+};
+
+}  // namespace tfo

@@ -1,0 +1,32 @@
+// Simulated-time primitives.
+//
+// All timestamps in the simulation are nanoseconds since simulation start,
+// carried in a 64-bit unsigned integer. Durations are signed so that
+// interval arithmetic (t2 - t1) is well behaved.
+#pragma once
+
+#include <cstdint>
+
+namespace tfo {
+
+/// Absolute simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Converts a duration to fractional microseconds (for reporting only).
+constexpr double to_microseconds(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_milliseconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace tfo

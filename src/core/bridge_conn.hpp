@@ -1,0 +1,131 @@
+// Per-connection merge state at the primary server bridge (§3 of the
+// paper): the primary and secondary output queues, sequence-number
+// synchronization, ACK/window minimum selection, and the connection
+// establishment/termination bookkeeping of §7/§8.
+//
+// Sequence spaces. The client is synchronized to the *secondary's*
+// sequence numbers (§3.3): the bridge subtracts Δseq = iss_P − iss_S from
+// everything the primary's TCP layer emits, and adds it to the ACK field
+// of everything the client sends before the primary's TCP layer sees it.
+// Internally we express this with 64-bit unwrapped stream offsets —
+// offset 0 is the server SYN in either space, so a byte at offset k of
+// P's stream and a byte at offset k of S's stream are replicas of the
+// same application byte, and wire sequence numbers are recovered as
+// iss_X + k. The arithmetic is identical to the paper's Δseq form but
+// immune to 32-bit wraparound bookkeeping errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/seq32.hpp"
+#include "core/output_queue.hpp"
+#include "tcp/conn_key.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::core {
+
+/// How the primary bridge disposes of a client-bound segment or event.
+class BridgeConn;
+
+/// Emission/teardown interface the owning bridge provides to connections.
+class BridgeConnSink {
+ public:
+  virtual ~BridgeConnSink() = default;
+  /// Sends a finished segment to the wire, bypassing the bridge's own
+  /// taps. `src`/`dst` are IP endpoints.
+  virtual void emit(const tcp::TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) = 0;
+  /// Replica divergence detected: the connection cannot be kept.
+  virtual void divergence(const tcp::ConnKey& key) = 0;
+  /// The connection is fully closed; the bridge may tombstone it.
+  virtual void fully_closed(const tcp::ConnKey& key) = 0;
+};
+
+class BridgeConn {
+ public:
+  /// `key` is the client's view: local = a_p (primary), remote = client.
+  BridgeConn(BridgeConnSink& sink, tcp::ConnKey key, ip::Ipv4 secondary_addr);
+
+  // ------------------------------------------------------------- events
+  /// Inbound segment from the remote endpoint (the unreplicated client,
+  /// or server T for §7.2 connections). Mutates the ACK field into the
+  /// primary's sequence space; the caller then forwards it to the
+  /// primary's TCP layer.
+  void on_remote_segment(tcp::TcpSegment& seg);
+
+  /// Outbound segment from the primary's TCP layer (consumed: the bridge
+  /// decides what actually reaches the wire).
+  void on_primary_segment(const tcp::TcpSegment& seg);
+
+  /// Diverted segment from the secondary (carried the orig-dst option).
+  void on_secondary_segment(const tcp::TcpSegment& seg);
+
+  /// §6: the secondary failed. Flushes the primary output queue and
+  /// switches to solo mode (no delaying/merging, but the Δseq adjustment
+  /// continues for the connection's lifetime).
+  void on_secondary_failed();
+
+  /// Rebinds the local (server-side) address of the connection key —
+  /// used when the owning host is promoted to head of a replica chain
+  /// and takes over the service address.
+  void rebind_local(ip::Ipv4 addr) { key_.local_ip = addr; }
+
+  // -------------------------------------------------------------- state
+  bool solo() const { return solo_; }
+  bool dead() const { return dead_; }
+  const tcp::ConnKey& key() const { return key_; }
+  std::size_t primary_queue_bytes() const { return p_queue_.total_bytes(); }
+  std::size_t secondary_queue_bytes() const { return s_queue_.total_bytes(); }
+  std::uint64_t merged_bytes_sent() const { return next_to_client_ <= 1 ? 0 : next_to_client_ - 1; }
+  bool handshake_done() const { return syn_sent_to_remote_; }
+
+ private:
+  void try_send_syn();
+  void pump();
+  void emit_payload(std::uint64_t offset, Bytes payload, bool fin);
+  void emit_empty_ack_if_progress();
+  void emit_retransmission(std::uint64_t offset, const Bytes& payload, bool fin);
+  void note_server_ack(std::uint64_t& slot, const tcp::TcpSegment& seg);
+  void check_fully_closed();
+  // "The acknowledgment field contains ... whichever is smaller" (§3.2);
+  // after the secondary fails the primary's own values are used (§6).
+  std::uint64_t min_ack() const { return solo_ ? ack_p_ : std::min(ack_p_, ack_s_); }
+  std::uint16_t min_win() const { return solo_ ? win_p_ : std::min(win_p_, win_s_); }
+  tcp::TcpSegment base_segment_to_remote() const;
+
+  BridgeConnSink& sink_;
+  tcp::ConnKey key_;           // local = a_p, remote = client/T
+  ip::Ipv4 secondary_addr_;
+
+  // Handshake (§7.1 / §7.2).
+  bool have_p_syn_ = false;
+  bool have_s_syn_ = false;
+  bool syn_sent_to_remote_ = false;
+  bool server_initiated_ = false;  // our SYNs carry no ACK (§7.2)
+  bool remote_isn_known_ = false;
+  tfo::Seq32 iss_p_ = 0, iss_s_ = 0, irs_ = 0;
+  std::uint16_t mss_p_ = 0, mss_s_ = 0;
+  std::uint16_t syn_win_p_ = 0, syn_win_s_ = 0;
+
+  // Server→remote stream state (offsets relative to the server ISNs).
+  SeqUnwrapper unwrap_p_, unwrap_s_, unwrap_c_;
+  std::uint64_t next_to_client_ = 1;  // next stream offset to put on the wire
+  OutputQueue p_queue_, s_queue_;
+  std::optional<std::uint64_t> fin_p_, fin_s_;
+  bool fin_sent_to_remote_ = false;
+
+  // ACK/window merge state (§3.2): offsets into the *remote's* stream.
+  std::uint64_t ack_p_ = 0, ack_s_ = 0;
+  std::uint16_t win_p_ = 0, win_s_ = 0;
+  std::uint64_t last_ack_to_remote_ = 0;
+  std::uint16_t last_win_to_remote_ = 0;
+
+  // Termination bookkeeping (§8).
+  std::optional<std::uint64_t> remote_fin_offset_;  // offset in remote stream
+  bool remote_acked_our_fin_ = false;
+
+  bool solo_ = false;  // §6 mode after secondary failure
+  bool dead_ = false;
+};
+
+}  // namespace tfo::core

@@ -1,0 +1,43 @@
+// Configuration shared by the primary and secondary bridges.
+//
+// §7 of the paper offers two ways to mark a connection as a TCP failover
+// connection: a per-socket option (tcp::SocketOptions::failover) and a
+// configured set of port numbers. Both are supported; the port set must be
+// identical on the primary and the secondary hosts, as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/time.hpp"
+#include "ip/addr.hpp"
+
+namespace tfo::core {
+
+struct FailoverConfig {
+  /// §7 method 2: any connection using one of these ports (on the server
+  /// side of the connection) is a failover connection.
+  std::set<std::uint16_t> ports;
+
+  /// Addresses of the replica pair.
+  ip::Ipv4 primary_addr;
+  ip::Ipv4 secondary_addr;
+
+  /// Fault-detector heartbeat period and declaration timeout.
+  SimDuration heartbeat_period = milliseconds(10);
+  SimDuration failure_timeout = milliseconds(50);
+
+  /// Pause between starting the §5 takeover and resuming transmission
+  /// (models the reconfiguration steps taking nonzero time).
+  SimDuration takeover_pause = 0;
+
+  /// The gratuitous ARP of §5 step 5 is a single unacknowledged broadcast;
+  /// on a lossy medium it is repeated so the client/router tables are
+  /// updated with overwhelming probability.
+  int gratuitous_arp_repeats = 4;
+  SimDuration gratuitous_arp_interval = milliseconds(50);
+
+  bool is_failover_port(std::uint16_t port) const { return ports.contains(port); }
+};
+
+}  // namespace tfo::core

@@ -1,0 +1,130 @@
+#include "core/fault_detector.hpp"
+
+#include "common/logging.hpp"
+
+namespace tfo::core {
+
+FaultDetector::FaultDetector(apps::Host& host, ip::Ipv4 peer, SimDuration period,
+                             SimDuration timeout, ip::Ipv4 src)
+    : host_(host),
+      peer_(peer),
+      period_(period),
+      timeout_(timeout),
+      src_(src),
+      send_timer_(host.simulator()),
+      deadline_(host.simulator()) {
+  host_.ip().register_protocol(
+      ip::Proto::kHeartbeat,
+      [this, w = std::weak_ptr<bool>(alive_)](const ip::IpDatagram& d,
+                                              const ip::RxMeta&) {
+        if (w.expired()) return;  // stale registration of a replaced detector
+        if (!running_ || d.src != peer_) return;
+        ++received_;
+        arm_deadline();
+      });
+}
+
+FaultDetector::~FaultDetector() { alive_.reset(); }
+
+void FaultDetector::start() {
+  running_ = true;
+  declared_ = false;
+  send_heartbeat();
+  arm_deadline();
+}
+
+void FaultDetector::stop() {
+  running_ = false;
+  send_timer_.stop();
+  deadline_.stop();
+}
+
+void FaultDetector::send_heartbeat() {
+  if (!running_) return;
+  ++sent_;
+  host_.ip().send(ip::Proto::kHeartbeat, src_, peer_, to_bytes("HB"));
+  send_timer_.start(period_, [this] { send_heartbeat(); });
+}
+
+void FaultDetector::arm_deadline() {
+  deadline_.start(timeout_, [this] {
+    if (declared_) return;
+    declared_ = true;
+    running_ = false;
+    send_timer_.stop();
+    TFO_LOG(kInfo, "fd") << host_.name() << " declares peer " << peer_.str()
+                         << " FAILED";
+    if (on_peer_failed) on_peer_failed();
+  });
+}
+
+// ------------------------------------------------------- HeartbeatMesh
+
+HeartbeatMesh::HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration timeout)
+    : host_(host), period_(period), timeout_(timeout), send_timer_(host.simulator()) {
+  host_.ip().register_protocol(
+      ip::Proto::kHeartbeat,
+      [this, w = std::weak_ptr<bool>(alive_)](const ip::IpDatagram& d,
+                                              const ip::RxMeta&) {
+        if (w.expired() || !running_) return;
+        for (auto& peer : peers_) {
+          if (peer.addr == d.src && !peer.declared) {
+            arm(peer);
+            return;
+          }
+        }
+      });
+}
+
+HeartbeatMesh::~HeartbeatMesh() { alive_.reset(); }
+
+void HeartbeatMesh::watch(ip::Ipv4 peer, std::function<void()> on_failed) {
+  Peer p;
+  p.addr = peer;
+  p.on_failed = std::move(on_failed);
+  p.deadline = std::make_unique<sim::Timer>(host_.simulator());
+  peers_.push_back(std::move(p));
+}
+
+void HeartbeatMesh::start() {
+  running_ = true;
+  send_heartbeats();
+  for (auto& peer : peers_) arm(peer);
+}
+
+void HeartbeatMesh::stop() {
+  running_ = false;
+  send_timer_.stop();
+  for (auto& peer : peers_) peer.deadline->stop();
+}
+
+bool HeartbeatMesh::peer_failed(ip::Ipv4 peer) const {
+  for (const auto& p : peers_) {
+    if (p.addr == peer) return p.declared;
+  }
+  return false;
+}
+
+void HeartbeatMesh::send_heartbeats() {
+  if (!running_) return;
+  for (const auto& peer : peers_) {
+    if (!peer.declared) {
+      host_.ip().send(ip::Proto::kHeartbeat, ip::Ipv4::any(), peer.addr,
+                      to_bytes("HB"));
+    }
+  }
+  send_timer_.start(period_, [this] { send_heartbeats(); });
+}
+
+void HeartbeatMesh::arm(Peer& peer) {
+  Peer* p = &peer;
+  peer.deadline->start(timeout_, [this, p] {
+    if (p->declared) return;
+    p->declared = true;
+    TFO_LOG(kInfo, "fd") << host_.name() << " declares chain peer "
+                         << p->addr.str() << " FAILED";
+    if (p->on_failed) p->on_failed();
+  });
+}
+
+}  // namespace tfo::core

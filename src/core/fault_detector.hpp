@@ -1,0 +1,95 @@
+// Heartbeat-based fault detector (§2: "the system employs a fault
+// detector"). Each replica streams heartbeat datagrams to its peer over a
+// raw IP protocol; silence for `failure_timeout` declares the peer dead
+// (fail-stop model). Detection latency is one of the knobs swept by the
+// failover-time bench (EXPERIMENTS.md E1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/host.hpp"
+#include "sim/timer.hpp"
+
+namespace tfo::core {
+
+class FaultDetector {
+ public:
+  /// `src` is the source address stamped on outgoing heartbeats — it must
+  /// be the address the peer's detector watches (after an IP takeover the
+  /// serving host speaks as the service address, not its interface).
+  /// any() uses the egress interface address.
+  FaultDetector(apps::Host& host, ip::Ipv4 peer, SimDuration period,
+                SimDuration timeout, ip::Ipv4 src = ip::Ipv4::any());
+  ~FaultDetector();
+
+  /// Fired exactly once when the peer is declared failed.
+  std::function<void()> on_peer_failed;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  bool peer_declared_failed() const { return declared_; }
+  std::uint64_t heartbeats_sent() const { return sent_; }
+  std::uint64_t heartbeats_received() const { return received_; }
+
+ private:
+  void send_heartbeat();
+  void arm_deadline();
+
+  apps::Host& host_;
+  ip::Ipv4 peer_;
+  SimDuration period_;
+  SimDuration timeout_;
+  ip::Ipv4 src_;
+  sim::Timer send_timer_;
+  sim::Timer deadline_;
+  bool running_ = false;
+  bool declared_ = false;
+  std::uint64_t sent_ = 0, received_ = 0;
+  /// Liveness sentinel: the protocol-handler registration on the host
+  /// outlives this object when a detector is replaced (reintegration);
+  /// the handler checks the sentinel before touching `this`.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Multi-peer heartbeat monitor for replica chains: one instance per host
+/// exchanges heartbeats with every other chain member and reports each
+/// peer's failure exactly once. (FaultDetector handles the two-replica
+/// case; only one of the two may be attached to a host, as each claims
+/// the host's heartbeat protocol number.)
+class HeartbeatMesh {
+ public:
+  HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration timeout);
+  ~HeartbeatMesh();
+
+  /// Registers a peer to watch. Call before start().
+  void watch(ip::Ipv4 peer, std::function<void()> on_failed);
+
+  void start();
+  void stop();
+  bool peer_failed(ip::Ipv4 peer) const;
+  std::size_t peers_watched() const { return peers_.size(); }
+
+ private:
+  struct Peer {
+    ip::Ipv4 addr;
+    std::function<void()> on_failed;
+    std::unique_ptr<sim::Timer> deadline;
+    bool declared = false;
+  };
+  void send_heartbeats();
+  void arm(Peer& peer);
+
+  apps::Host& host_;
+  SimDuration period_;
+  SimDuration timeout_;
+  std::vector<Peer> peers_;
+  sim::Timer send_timer_;
+  bool running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tfo::core

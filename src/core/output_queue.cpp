@@ -1,0 +1,116 @@
+#include "core/output_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tfo::core {
+
+bool OutputQueue::insert(std::uint64_t offset, BytesView data) {
+  if (data.empty()) return true;
+  const std::uint64_t end = offset + data.size();
+
+  // Pass 1: verify all overlaps agree (divergence check) without mutating.
+  auto it = runs_.upper_bound(offset);
+  if (it != runs_.begin()) --it;
+  for (auto probe = it; probe != runs_.end() && probe->first < end; ++probe) {
+    const std::uint64_t r_off = probe->first;
+    const std::uint64_t r_end = r_off + probe->second.size();
+    const std::uint64_t lo = std::max(offset, r_off);
+    const std::uint64_t hi = std::min(end, r_end);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      if (probe->second[static_cast<std::size_t>(i - r_off)] !=
+          data[static_cast<std::size_t>(i - offset)]) {
+        return false;
+      }
+    }
+  }
+
+  // Pass 2: union the new run with every overlapping or abutting run.
+  auto first = runs_.upper_bound(offset);
+  if (first != runs_.begin()) {
+    auto prev = std::prev(first);
+    if (prev->first + prev->second.size() >= offset) first = prev;
+  }
+  std::uint64_t span_off = offset, span_end = end;
+  auto last = first;
+  while (last != runs_.end() && last->first <= end) {
+    span_off = std::min(span_off, last->first);
+    span_end = std::max(span_end, last->first + last->second.size());
+    ++last;
+  }
+  Bytes merged(static_cast<std::size_t>(span_end - span_off));
+  for (auto p = first; p != last; ++p) {
+    std::copy(p->second.begin(), p->second.end(),
+              merged.begin() + static_cast<long>(p->first - span_off));
+    total_ -= p->second.size();
+  }
+  std::copy(data.begin(), data.end(),
+            merged.begin() + static_cast<long>(offset - span_off));
+  runs_.erase(first, last);
+  total_ += merged.size();
+  runs_.emplace(span_off, std::move(merged));
+  return true;
+}
+
+std::size_t OutputQueue::contiguous_at(std::uint64_t offset) const {
+  auto it = runs_.upper_bound(offset);
+  if (it == runs_.begin()) return 0;
+  --it;
+  const std::uint64_t r_end = it->first + it->second.size();
+  return offset < r_end ? static_cast<std::size_t>(r_end - offset) : 0;
+}
+
+Bytes OutputQueue::extract(std::uint64_t offset, std::size_t n) {
+  TFO_ASSERT(contiguous_at(offset) >= n, "extract beyond contiguous run");
+  auto it = runs_.upper_bound(offset);
+  --it;
+  const std::uint64_t r_off = it->first;
+  Bytes run = std::move(it->second);
+  total_ -= run.size();
+  runs_.erase(it);
+
+  const std::size_t head = static_cast<std::size_t>(offset - r_off);
+  Bytes out(run.begin() + static_cast<long>(head),
+            run.begin() + static_cast<long>(head + n));
+  if (head > 0) {
+    Bytes left(run.begin(), run.begin() + static_cast<long>(head));
+    total_ += left.size();
+    runs_.emplace(r_off, std::move(left));
+  }
+  if (head + n < run.size()) {
+    Bytes right(run.begin() + static_cast<long>(head + n), run.end());
+    total_ += right.size();
+    runs_.emplace(offset + n, std::move(right));
+  }
+  return out;
+}
+
+void OutputQueue::drop_below(std::uint64_t offset) {
+  while (!runs_.empty()) {
+    auto it = runs_.begin();
+    const std::uint64_t r_end = it->first + it->second.size();
+    if (it->first >= offset) break;
+    if (r_end <= offset) {
+      total_ -= it->second.size();
+      runs_.erase(it);
+      continue;
+    }
+    // Trim the head of this run.
+    Bytes tail(it->second.begin() + static_cast<long>(offset - it->first),
+               it->second.end());
+    total_ -= it->second.size();
+    runs_.erase(it);
+    total_ += tail.size();
+    runs_.emplace(offset, std::move(tail));
+    break;
+  }
+}
+
+std::uint64_t OutputQueue::max_end() const {
+  TFO_ASSERT(!runs_.empty(), "max_end on empty queue");
+  auto it = std::prev(runs_.end());
+  return it->first + it->second.size();
+}
+
+}  // namespace tfo::core

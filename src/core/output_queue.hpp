@@ -1,0 +1,57 @@
+// The primary/secondary server output queues of §3.2/§3.4.
+//
+// A queue holds reply-stream payload bytes keyed by *stream offset* (the
+// 64-bit unwrapped position in the server→client byte stream; offset 0 is
+// the SYN, data starts at 1). The primary bridge keeps one queue for bytes
+// produced by the primary's TCP layer and one for bytes diverted from the
+// secondary, and sends to the client only byte runs present in both
+// (Figure 2 of the paper).
+//
+// Because the replicas are required to be deterministic, bytes inserted at
+// overlapping offsets must agree; a mismatch is surfaced as replica
+// divergence rather than silently corrupting the stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.hpp"
+
+namespace tfo::core {
+
+class OutputQueue {
+ public:
+  /// Inserts `data` at `offset`, merging with adjacent/overlapping runs.
+  /// Returns false (and leaves the queue unchanged) when an overlapping
+  /// byte disagrees with previously inserted content — replica divergence.
+  [[nodiscard]] bool insert(std::uint64_t offset, BytesView data);
+
+  /// Number of contiguous bytes available starting exactly at `offset`.
+  std::size_t contiguous_at(std::uint64_t offset) const;
+
+  /// Removes and returns exactly `n` bytes starting at `offset`
+  /// (requires contiguous_at(offset) >= n).
+  Bytes extract(std::uint64_t offset, std::size_t n);
+
+  /// Drops all bytes below `offset` (already sent to the client).
+  void drop_below(std::uint64_t offset);
+
+  bool empty() const { return runs_.empty(); }
+  std::size_t total_bytes() const { return total_; }
+  /// Lowest offset present (queue must not be empty).
+  std::uint64_t min_offset() const { return runs_.begin()->first; }
+  /// One past the highest offset present (queue must not be empty).
+  std::uint64_t max_end() const;
+
+  void clear() {
+    runs_.clear();
+    total_ = 0;
+  }
+
+ private:
+  // Non-overlapping, non-adjacent runs: offset -> bytes.
+  std::map<std::uint64_t, Bytes> runs_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tfo::core

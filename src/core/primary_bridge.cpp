@@ -1,0 +1,233 @@
+#include "core/primary_bridge.hpp"
+
+#include "common/logging.hpp"
+
+namespace tfo::core {
+
+using tcp::ConnKey;
+using tcp::Flags;
+using tcp::TapVerdict;
+using tcp::TcpSegment;
+
+PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
+    : host_(host), cfg_(std::move(cfg)) {
+  tombstone_ttl_ = 4 * host_.tcp().params().msl;
+  out_tap_ = host_.tcp().add_outbound_tap(
+      [this](TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst) {
+        return outbound_tap(seg, src, dst);
+      });
+  in_tap_ = host_.tcp().add_inbound_tap(
+      [this](TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst, const ip::RxMeta& meta) {
+        return inbound_tap(seg, src, dst, meta);
+      });
+}
+
+PrimaryBridge::~PrimaryBridge() {
+  alive_.reset();
+  host_.tcp().remove_tap(out_tap_);
+  host_.tcp().remove_tap(in_tap_);
+}
+
+BridgeConn* PrimaryBridge::find(const ConnKey& key) {
+  auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void PrimaryBridge::exclude_existing_connections() {
+  host_.tcp().for_each_connection(
+      [this](const tcp::Connection& conn) { excluded_.insert(conn.key()); });
+  TFO_LOG(kInfo, "bridge") << "primary bridge: " << excluded_.size()
+                           << " pre-existing connections exempt from bridging";
+}
+
+bool PrimaryBridge::is_failover(const ConnKey& key) const {
+  if (excluded_.contains(key)) return false;
+  if (conns_.contains(key)) return true;
+  // §7 method 2: configured port set. The server-side port is the local
+  // port of the connection as seen from this (server) host.
+  if (cfg_.is_failover_port(key.local_port)) return true;
+  // §7 method 1: per-socket option on an existing connection or listener.
+  if (auto conn = host_.tcp().find(key); conn && conn->failover_flagged()) return true;
+  if (host_.tcp().listener_is_failover(key.local_port)) return true;
+  return false;
+}
+
+BridgeConn& PrimaryBridge::conn_for(const ConnKey& key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    it = conns_.emplace(key, std::make_unique<BridgeConn>(*this, key, cfg_.secondary_addr))
+             .first;
+    if (secondary_failed_) it->second->on_secondary_failed();
+    TFO_LOG(kDebug, "bridge") << "primary bridge: new connection " << key.str();
+  }
+  return *it->second;
+}
+
+// ------------------------------------------------------------------ taps
+
+TapVerdict PrimaryBridge::outbound_tap(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst) {
+  const ConnKey key{src, seg.src_port, dst, seg.dst_port};
+  if (dst == cfg_.secondary_addr) return TapVerdict::kContinue;
+  if (tombstoned(key)) {
+    // Late retransmission from our own TCP layer after bridge teardown —
+    // it must not leak out with untranslated sequence numbers.
+    return TapVerdict::kDrop;
+  }
+  if (!is_failover(key)) return TapVerdict::kContinue;
+  conn_for(key).on_primary_segment(seg);
+  return TapVerdict::kConsume;
+}
+
+TapVerdict PrimaryBridge::inbound_tap(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst,
+                                      const ip::RxMeta& meta) {
+  (void)meta;
+  if (seg.orig_dst.has_value()) {
+    // Diverted traffic from the secondary (§3.1): never reaches our TCP.
+    const ConnKey key{dst, seg.src_port, *seg.orig_dst, seg.dst_port};
+    if (secondary_failed_) return TapVerdict::kDrop;  // §6 step 2
+    if (auto* conn = find(key)) {
+      conn->on_secondary_segment(seg);
+    } else if (tombstoned(key) && seg.fin()) {
+      // §8: "When the bridge receives a FIN that S sent after the bridge
+      // removed all internal data structures ... it creates an ACK and
+      // sends it back to S."
+      ack_stray_fin_from_secondary(seg);
+    } else if (seg.syn()) {
+      conn_for(key).on_secondary_segment(seg);
+    } else {
+      TFO_LOG(kDebug, "bridge")
+          << "dropping secondary segment for unknown connection " << key.str();
+    }
+    return TapVerdict::kConsume;
+  }
+
+  // Segment from the remote endpoint (client, or server T for §7.2).
+  const ConnKey key{dst, seg.dst_port, src, seg.src_port};
+  if (auto* conn = find(key)) {
+    conn->on_remote_segment(seg);
+    return TapVerdict::kContinue;
+  }
+  if (tombstoned(key)) {
+    if (seg.fin()) {
+      // §8: ACK a client FIN retransmitted after teardown, and keep it
+      // away from the TCP layer (which would answer with a RST).
+      ack_stray_fin_from_remote(seg, src, dst);
+    }
+    return TapVerdict::kDrop;
+  }
+  if (!secondary_failed_ && seg.syn() && !seg.has_ack() && is_failover(key)) {
+    conn_for(key).on_remote_segment(seg);
+  }
+  return TapVerdict::kContinue;
+}
+
+// ------------------------------------------------------------------ sink
+
+void PrimaryBridge::emit(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  ++merged_segments_;
+  if (upstream_) {
+    // Chain-intermediate role: the merged stream is itself diverted to
+    // the next replica up, which merges it with its own TCP's output.
+    TcpSegment diverted = seg;
+    diverted.orig_dst = dst;
+    host_.tcp().send_segment_raw(diverted, host_.address(), *upstream_);
+    return;
+  }
+  host_.tcp().send_segment_raw(seg, src, dst);
+}
+
+void PrimaryBridge::rekey_local(ip::Ipv4 from, ip::Ipv4 to) {
+  std::vector<std::unique_ptr<BridgeConn>> moved;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->first.local_ip == from) {
+      moved.push_back(std::move(it->second));
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& conn : moved) {
+    conn->rebind_local(to);
+    const ConnKey key = conn->key();
+    conns_.emplace(key, std::move(conn));
+  }
+}
+
+void PrimaryBridge::divergence(const ConnKey& key) {
+  ++divergences_;
+  TFO_LOG(kError, "bridge") << "replica divergence on " << key.str()
+                            << " — resetting connection";
+  // The stream can no longer be kept consistent: reset the remote and our
+  // own TCP endpoint, then tombstone.
+  TcpSegment rst;
+  rst.src_port = key.local_port;
+  rst.dst_port = key.remote_port;
+  rst.flags = Flags::kRst;
+  host_.tcp().send_segment_raw(rst, key.local_ip, key.remote_ip);
+  if (auto conn = host_.tcp().find(key)) conn->abort();
+  schedule_removal(key);
+}
+
+void PrimaryBridge::fully_closed(const ConnKey& key) {
+  TFO_LOG(kDebug, "bridge") << "primary bridge: connection fully closed " << key.str();
+  schedule_removal(key);
+}
+
+void PrimaryBridge::schedule_removal(const ConnKey& key) {
+  tombstones_[key] = host_.simulator().now() + static_cast<SimTime>(tombstone_ttl_);
+  // Deferred: we may be inside this connection's own event handler. The
+  // sentinel keeps the events inert if the bridge is replaced meanwhile.
+  host_.simulator().schedule_after(
+      0, [this, key, w = std::weak_ptr<bool>(alive_)] {
+        if (!w.expired()) conns_.erase(key);
+      });
+  // Opportunistic tombstone expiry.
+  host_.simulator().schedule_after(
+      tombstone_ttl_, [this, w = std::weak_ptr<bool>(alive_)] {
+        if (w.expired()) return;
+        const SimTime now = host_.simulator().now();
+        for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+          it = it->second <= now ? tombstones_.erase(it) : std::next(it);
+        }
+      });
+}
+
+bool PrimaryBridge::tombstoned(const ConnKey& key) const {
+  return tombstones_.contains(key);
+}
+
+void PrimaryBridge::ack_stray_fin_from_remote(const TcpSegment& seg, ip::Ipv4 remote,
+                                              ip::Ipv4 local) {
+  ++stray_fin_acks_;
+  TcpSegment ack;
+  ack.src_port = seg.dst_port;
+  ack.dst_port = seg.src_port;
+  ack.flags = Flags::kAck;
+  ack.seq = seg.has_ack() ? seg.ack : 0;
+  ack.ack = seq_add(seg.seq, seg.seg_len());
+  // Reply from the address the remote addressed (the service address —
+  // not necessarily this host's interface address after a promotion).
+  host_.tcp().send_segment_raw(ack, local, remote);
+}
+
+void PrimaryBridge::ack_stray_fin_from_secondary(const TcpSegment& seg) {
+  ++stray_fin_acks_;
+  // The reply must look like it came from the client so the secondary's
+  // TCP layer matches it to its connection (keyed remote = client).
+  TcpSegment ack;
+  ack.src_port = seg.dst_port;  // client port
+  ack.dst_port = seg.src_port;  // server port
+  ack.flags = Flags::kAck;
+  ack.seq = seg.has_ack() ? seg.ack : 0;
+  ack.ack = seq_add(seg.seq, seg.seg_len());
+  host_.tcp().send_segment_raw(ack, *seg.orig_dst, cfg_.secondary_addr);
+}
+
+void PrimaryBridge::on_secondary_failed() {
+  if (secondary_failed_) return;
+  secondary_failed_ = true;
+  TFO_LOG(kInfo, "bridge") << "primary bridge: secondary failed, entering solo mode";
+  for (auto& [key, conn] : conns_) conn->on_secondary_failed();
+}
+
+}  // namespace tfo::core

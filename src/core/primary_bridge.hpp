@@ -1,0 +1,119 @@
+// The primary server bridge (§3.2): intercepts the primary TCP layer's
+// client-bound segments, merges them with the secondary's diverted
+// segments, and is the only party that actually transmits to the client.
+//
+// Attachment points on the host:
+//   * a TCP outbound tap consumes every failover-connection segment the
+//     primary's TCP layer tries to send to the client;
+//   * a TCP inbound tap (a) consumes segments carrying the orig-dst
+//     option (the secondary's diverted traffic) and (b) rewrites the ACK
+//     field of client segments into the primary's sequence space before
+//     the TCP layer sees them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/host.hpp"
+#include "core/bridge_conn.hpp"
+#include "core/failover_config.hpp"
+
+namespace tfo::core {
+
+class PrimaryBridge : public BridgeConnSink {
+ public:
+  PrimaryBridge(apps::Host& host, FailoverConfig cfg);
+  ~PrimaryBridge() override;
+  PrimaryBridge(const PrimaryBridge&) = delete;
+  PrimaryBridge& operator=(const PrimaryBridge&) = delete;
+
+  /// §6: the fault detector declared the secondary dead. Flushes every
+  /// connection's primary output queue and switches them to solo mode.
+  void on_secondary_failed();
+  bool secondary_failed() const { return secondary_failed_; }
+
+  // --- replica-chain support (daisy-chaining, the paper's §1 extension).
+
+  /// When set, merged output is not sent to the remote endpoint but
+  /// diverted (orig-dst option) to this upstream replica, which merges it
+  /// again with its own stream. Unset (the default) for the chain head /
+  /// two-way primary: merged output goes on the wire to the client.
+  void set_upstream(std::optional<ip::Ipv4> upstream) { upstream_ = upstream; }
+
+  /// Re-aims the "secondary" this bridge merges with (the next replica
+  /// down the chain). Clears solo mode so merging resumes with the new
+  /// downstream.
+  void set_downstream(ip::Ipv4 addr) {
+    cfg_.secondary_addr = addr;
+    secondary_failed_ = false;
+  }
+
+  /// Rekeys every bridged connection's local address (head promotion:
+  /// the host just took over the service address).
+  void rekey_local(ip::Ipv4 from, ip::Ipv4 to);
+
+  // --- reintegration support (replacing a failed replica).
+
+  /// Exempts every connection currently live on the host's TCP layer
+  /// from bridging: when a bridge is attached to a host that has been
+  /// serving alone, the in-flight connections cannot be replicated
+  /// retroactively and must keep flowing untouched.
+  void exclude_existing_connections();
+
+  /// Re-arms merging against a replacement secondary after
+  /// on_secondary_failed(): connections created from now on are bridged
+  /// against `addr`; previously-solo connections stay solo.
+  void resume_with_secondary(ip::Ipv4 addr) {
+    cfg_.secondary_addr = addr;
+    secondary_failed_ = false;
+  }
+
+  std::size_t connection_count() const { return conns_.size(); }
+  std::size_t tombstone_count() const { return tombstones_.size(); }
+  BridgeConn* find(const tcp::ConnKey& key);
+
+  // Statistics (exposed for tests and the ablation benches).
+  std::uint64_t merged_segments_sent() const { return merged_segments_; }
+  std::uint64_t retransmissions_forwarded() const { return retrans_forwarded_; }
+  std::uint64_t stray_fin_acks() const { return stray_fin_acks_; }
+  std::uint64_t divergences() const { return divergences_; }
+
+  // BridgeConnSink:
+  void emit(const tcp::TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) override;
+  void divergence(const tcp::ConnKey& key) override;
+  void fully_closed(const tcp::ConnKey& key) override;
+
+ private:
+  tcp::TapVerdict outbound_tap(tcp::TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst);
+  tcp::TapVerdict inbound_tap(tcp::TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst,
+                              const ip::RxMeta& meta);
+  bool is_failover(const tcp::ConnKey& key) const;
+  BridgeConn& conn_for(const tcp::ConnKey& key);
+  void schedule_removal(const tcp::ConnKey& key);
+  bool tombstoned(const tcp::ConnKey& key) const;
+  void ack_stray_fin_from_remote(const tcp::TcpSegment& seg, ip::Ipv4 remote,
+                                 ip::Ipv4 local);
+  void ack_stray_fin_from_secondary(const tcp::TcpSegment& seg);
+
+  apps::Host& host_;
+  FailoverConfig cfg_;
+  std::optional<ip::Ipv4> upstream_;
+  std::unordered_map<tcp::ConnKey, std::unique_ptr<BridgeConn>> conns_;
+  /// Connections exempt from bridging (pre-dating this bridge).
+  std::unordered_set<tcp::ConnKey> excluded_;
+  /// Recently closed connections (§8: the bridge must still acknowledge
+  /// FIN retransmissions after deleting a connection's data structures).
+  std::unordered_map<tcp::ConnKey, SimTime> tombstones_;
+  SimDuration tombstone_ttl_;
+  bool secondary_failed_ = false;
+  tcp::TapId out_tap_ = 0, in_tap_ = 0;
+  /// Liveness sentinel for deferred events (tombstone expiry, deferred
+  /// connection removal) that may fire after the bridge was replaced.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t merged_segments_ = 0, retrans_forwarded_ = 0;
+  std::uint64_t stray_fin_acks_ = 0, divergences_ = 0;
+};
+
+}  // namespace tfo::core

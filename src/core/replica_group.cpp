@@ -1,0 +1,87 @@
+#include "core/replica_group.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace tfo::core {
+
+ReplicaGroup::ReplicaGroup(apps::Host& primary, apps::Host& secondary,
+                           FailoverConfig cfg)
+    : primary_host_(&primary), secondary_host_(&secondary), cfg_(std::move(cfg)) {
+  if (cfg_.primary_addr.is_any()) cfg_.primary_addr = primary.address();
+  if (cfg_.secondary_addr.is_any()) cfg_.secondary_addr = secondary.address();
+
+  primary_bridge_ = std::make_unique<PrimaryBridge>(*primary_host_, cfg_);
+  secondary_bridge_ = std::make_unique<SecondaryBridge>(*secondary_host_, cfg_);
+  fd_primary_ = std::make_unique<FaultDetector>(
+      *primary_host_, cfg_.secondary_addr, cfg_.heartbeat_period, cfg_.failure_timeout);
+  fd_secondary_ = std::make_unique<FaultDetector>(
+      *secondary_host_, cfg_.primary_addr, cfg_.heartbeat_period, cfg_.failure_timeout);
+
+  wire_detectors();
+}
+
+void ReplicaGroup::wire_detectors() {
+  // A crashed host's own timers still run in the simulation; its detector
+  // hears nobody and would otherwise trigger recovery on a dead host.
+  fd_primary_->on_peer_failed = [this] {
+    if (primary_host_->failed()) return;
+    primary_bridge_->on_secondary_failed();
+  };
+  fd_secondary_->on_peer_failed = [this] {
+    if (secondary_host_->failed()) return;
+    secondary_bridge_->take_over();
+  };
+}
+
+void ReplicaGroup::start() {
+  fd_primary_->start();
+  fd_secondary_->start();
+}
+
+void ReplicaGroup::crash_primary() { primary_host_->fail(); }
+
+void ReplicaGroup::crash_secondary() { secondary_host_->fail(); }
+
+apps::Host& ReplicaGroup::current_server() {
+  return secondary_bridge_->taken_over() ? *secondary_host_ : *primary_host_;
+}
+
+void ReplicaGroup::reintegrate_secondary(apps::Host& recruit) {
+  TFO_ASSERT(!recruit.failed(), "cannot reintegrate a failed host");
+  apps::Host& server = current_server();
+  TFO_ASSERT(&server != &recruit, "the recruit must be a different host");
+  TFO_LOG(kInfo, "group") << "reintegrating " << recruit.name()
+                          << " behind " << server.name();
+
+  cfg_.secondary_addr = recruit.address();
+
+  if (secondary_bridge_->taken_over()) {
+    // The old primary died and the survivor took over the service
+    // address. It becomes the merge side of a fresh pair; connections it
+    // has been serving alone stay unbridged.
+    primary_host_ = &server;
+    primary_bridge_ = std::make_unique<PrimaryBridge>(server, cfg_);
+    primary_bridge_->exclude_existing_connections();
+  } else {
+    // The old secondary died (§6 recovery): the existing bridge resumes
+    // merging for new connections; solo connections remain solo.
+    primary_bridge_->resume_with_secondary(recruit.address());
+  }
+
+  secondary_host_ = &recruit;
+  secondary_bridge_ = std::make_unique<SecondaryBridge>(recruit, cfg_);
+
+  // Heartbeats from the serving side are stamped with the service address
+  // (the survivor may be speaking through a takeover alias).
+  fd_primary_ = std::make_unique<FaultDetector>(
+      *primary_host_, cfg_.secondary_addr, cfg_.heartbeat_period,
+      cfg_.failure_timeout, cfg_.primary_addr);
+  fd_secondary_ = std::make_unique<FaultDetector>(
+      *secondary_host_, cfg_.primary_addr, cfg_.heartbeat_period,
+      cfg_.failure_timeout);
+  wire_detectors();
+  start();
+}
+
+}  // namespace tfo::core

@@ -1,0 +1,61 @@
+// Top-level convenience wiring: given a primary host and a secondary host
+// running the (actively replicated) server application, assemble the two
+// bridges and the fault detectors and react to failures with the paper's
+// §5/§6 procedures. This is the public entry point most users of the
+// library want; examples/quickstart.cpp shows the full flow.
+#pragma once
+
+#include <memory>
+
+#include "apps/host.hpp"
+#include "core/fault_detector.hpp"
+#include "core/failover_config.hpp"
+#include "core/primary_bridge.hpp"
+#include "core/secondary_bridge.hpp"
+
+namespace tfo::core {
+
+class ReplicaGroup {
+ public:
+  ReplicaGroup(apps::Host& primary, apps::Host& secondary, FailoverConfig cfg);
+
+  /// Starts the fault detectors. Call after the topology is in place.
+  void start();
+
+  PrimaryBridge& primary_bridge() { return *primary_bridge_; }
+  SecondaryBridge& secondary_bridge() { return *secondary_bridge_; }
+  FaultDetector& detector_on_primary() { return *fd_primary_; }
+  FaultDetector& detector_on_secondary() { return *fd_secondary_; }
+  const FailoverConfig& config() const { return cfg_; }
+
+  /// Convenience fault injection: crashes the host; the surviving
+  /// replica's detector notices and runs the corresponding recovery.
+  void crash_primary();
+  void crash_secondary();
+
+  /// Reintegration (the paper leaves this out of scope; see DESIGN.md):
+  /// after one replica failed and the survivor recovered (§5 or §6),
+  /// `recruit` — a fresh host already running the replicated application —
+  /// becomes the new secondary. Connections established from now on are
+  /// fully replicated again; connections that predate the reintegration
+  /// keep running unreplicated on the survivor (their application state
+  /// cannot be reconstructed without state transfer). The recruit must be
+  /// on the same segment with its listeners installed before the call.
+  void reintegrate_secondary(apps::Host& recruit);
+
+  /// The host currently serving the service address.
+  apps::Host& current_server();
+
+ private:
+  void wire_detectors();
+
+  apps::Host* primary_host_;    // current merge-side host
+  apps::Host* secondary_host_;  // current divert-side host
+  FailoverConfig cfg_;
+  std::unique_ptr<PrimaryBridge> primary_bridge_;
+  std::unique_ptr<SecondaryBridge> secondary_bridge_;
+  std::unique_ptr<FaultDetector> fd_primary_;    // runs on P, watches S
+  std::unique_ptr<FaultDetector> fd_secondary_;  // runs on S, watches P
+};
+
+}  // namespace tfo::core

@@ -1,0 +1,152 @@
+#include "core/secondary_bridge.hpp"
+
+#include "common/logging.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::core {
+
+using ip::HookVerdict;
+using tcp::TapVerdict;
+using tcp::TcpSegment;
+
+SecondaryBridge::SecondaryBridge(apps::Host& host, FailoverConfig cfg)
+    : host_(host), cfg_(std::move(cfg)), divert_to_(cfg_.primary_addr) {
+  host_.nic().set_promiscuous(true);
+  ip_hook_ = host_.ip().add_inbound_hook(
+      [this](ip::IpDatagram& d, const ip::RxMeta& m) { return ip_inbound(d, m); });
+  out_tap_ = host_.tcp().add_outbound_tap(
+      [this](TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst) {
+        return tcp_outbound(seg, src, dst);
+      });
+}
+
+SecondaryBridge::~SecondaryBridge() {
+  alive_.reset();
+  host_.ip().remove_hook(ip_hook_);
+  host_.tcp().remove_tap(out_tap_);
+}
+
+bool SecondaryBridge::failover_traffic_inbound(std::uint16_t src_port,
+                                               std::uint16_t dst_port) const {
+  // Client→server traffic: the server-side port is the destination.
+  (void)src_port;
+  return cfg_.is_failover_port(dst_port) || host_.tcp().listener_is_failover(dst_port);
+}
+
+HookVerdict SecondaryBridge::ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta& meta) {
+  if (taken_over_) return HookVerdict::kContinue;  // §5 step 3: disabled
+  if (dgram.dst == host_.address()) return HookVerdict::kContinue;
+
+  if (!meta.to_our_mac) {
+    // Promiscuously captured. §3.1: "The secondary server bridge discards
+    // all datagrams that do not contain a TCP segment or that are not
+    // addressed to P."
+    if (dgram.proto != ip::Proto::kTcp || dgram.dst != cfg_.primary_addr ||
+        dgram.payload.size() < 20) {
+      ++snooped_dropped_;
+      return HookVerdict::kDrop;
+    }
+    const std::uint16_t src_port = get_u16(dgram.payload, 0);
+    const std::uint16_t dst_port = get_u16(dgram.payload, 2);
+    bool match = failover_traffic_inbound(src_port, dst_port);
+    if (!match) {
+      // §7 method 1 for established connections: is there a flagged
+      // connection of ours matching this 4-tuple?
+      tcp::ConnKey key{host_.address(), dst_port, dgram.src, src_port};
+      if (auto conn = host_.tcp().find(key); conn && conn->failover_flagged()) {
+        match = true;
+      }
+    }
+    if (!match) {
+      ++snooped_dropped_;
+      return HookVerdict::kDrop;
+    }
+    // Rewrite a_p -> a_s and fix the TCP checksum incrementally in the
+    // serialized segment (the pseudo-header destination changed).
+    tcp::patch_checksum_for_address_change(dgram.payload, dgram.dst, host_.address());
+    dgram.dst = host_.address();
+    ++translated_;
+    return HookVerdict::kContinue;
+  }
+  return HookVerdict::kContinue;
+}
+
+TapVerdict SecondaryBridge::tcp_outbound(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst) {
+  if (taken_over_ && !paused_) return TapVerdict::kContinue;
+  if (dst == cfg_.primary_addr || dst == divert_to_) return TapVerdict::kContinue;
+
+  // Only failover-connection traffic is diverted.
+  const tcp::ConnKey key{src, seg.src_port, dst, seg.dst_port};
+  bool failover = cfg_.is_failover_port(seg.src_port) ||
+                  host_.tcp().listener_is_failover(seg.src_port);
+  if (!failover) {
+    if (auto conn = host_.tcp().find(key); conn && conn->failover_flagged()) {
+      failover = true;
+    }
+  }
+  if (!failover) return TapVerdict::kContinue;
+
+  if (paused_) {
+    // §5 step 1: hold client-bound segments during reconfiguration.
+    pause_buffer_.push_back({seg, dst});
+    return TapVerdict::kConsume;
+  }
+
+  // §3.1: divert to the primary (or, in a replica chain, the next live
+  // replica up), recording the true destination in a TCP header option.
+  seg.orig_dst = dst;
+  dst = divert_to_;
+  ++diverted_;
+  return TapVerdict::kContinue;
+}
+
+void SecondaryBridge::take_over() {
+  if (taken_over_) return;
+  TFO_LOG(kInfo, "bridge") << "secondary bridge: taking over "
+                           << cfg_.primary_addr.str();
+  takeover_time_ = host_.simulator().now();
+
+  // Step 1: stop sending client-bound segments.
+  paused_ = true;
+
+  // Step 2: disable promiscuous receive.
+  host_.nic().set_promiscuous(false);
+
+  // Steps 3 & 4 (disable both translations) are keyed off this flag.
+  taken_over_ = true;
+
+  // Step 5: IP takeover — claim a_p, announce it, and rebind the failover
+  // connections our TCP layer keyed under a_s (DESIGN.md §5.2). The
+  // announcement is repeated: any single gratuitous ARP may be lost.
+  host_.ip().add_alias(cfg_.primary_addr);
+  host_.arp().announce(cfg_.primary_addr);
+  for (int i = 1; i <= cfg_.gratuitous_arp_repeats; ++i) {
+    host_.simulator().schedule_after(
+        i * cfg_.gratuitous_arp_interval,
+        [this, w = std::weak_ptr<bool>(alive_)] {
+          if (!w.expired()) host_.arp().announce(cfg_.primary_addr);
+        });
+  }
+  host_.tcp().rekey_local_address(
+      host_.address(), cfg_.primary_addr, [this](const tcp::Connection& c) {
+        return c.failover_flagged() || cfg_.is_failover_port(c.key().local_port) ||
+               host_.tcp().listener_is_failover(c.key().local_port);
+      });
+
+  // "After the change of IP address is completed, the bridge resumes
+  // sending TCP segments."
+  host_.simulator().schedule_after(cfg_.takeover_pause,
+                                   [this, w = std::weak_ptr<bool>(alive_)] {
+    if (w.expired()) return;
+    paused_ = false;
+    auto held = std::move(pause_buffer_);
+    pause_buffer_.clear();
+    for (auto& h : held) {
+      // Held segments were generated under a_s; they go out re-sourced
+      // from the taken-over address.
+      host_.tcp().send_segment_raw(h.seg, cfg_.primary_addr, h.dst);
+    }
+  });
+}
+
+}  // namespace tfo::core

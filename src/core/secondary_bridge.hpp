@@ -1,0 +1,73 @@
+// The secondary server bridge (§3.1): address translation around the
+// secondary's TCP layer, and the §5 takeover procedure.
+//
+// Attachment points on the host:
+//   * the NIC is put in promiscuous mode so the host sees the client's
+//     datagrams addressed to the primary;
+//   * an IP inbound hook discards snooped datagrams that are not failover
+//     TCP traffic for the primary, and rewrites the destination a_p→a_s
+//     of the rest — patching the TCP checksum *incrementally* in the
+//     serialized payload, exactly as §3.1 describes;
+//   * a TCP outbound tap diverts client-bound segments to the primary
+//     (a_c→a_p), recording the original destination in a TCP option.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/host.hpp"
+#include "core/failover_config.hpp"
+#include "sim/timer.hpp"
+
+namespace tfo::core {
+
+class SecondaryBridge {
+ public:
+  SecondaryBridge(apps::Host& host, FailoverConfig cfg);
+  ~SecondaryBridge();
+  SecondaryBridge(const SecondaryBridge&) = delete;
+  SecondaryBridge& operator=(const SecondaryBridge&) = delete;
+
+  /// §5: the fault detector declared the primary dead. Executes the five
+  /// takeover steps; transmission resumes after cfg.takeover_pause.
+  void take_over();
+  bool taken_over() const { return taken_over_; }
+
+  /// Simulated time at which take_over() ran (0 if it has not).
+  SimTime takeover_time() const { return takeover_time_; }
+
+  /// Re-aims the diversion target (replica-chain support: when this
+  /// host's upstream neighbour dies, client-bound output is diverted to
+  /// the next live replica up instead). The snoop translation keeps
+  /// matching the *service* address from the config.
+  void set_divert_to(ip::Ipv4 addr) { divert_to_ = addr; }
+  ip::Ipv4 divert_to() const { return divert_to_; }
+
+  std::uint64_t datagrams_translated() const { return translated_; }
+  std::uint64_t segments_diverted() const { return diverted_; }
+  std::uint64_t snooped_dropped() const { return snooped_dropped_; }
+
+ private:
+  ip::HookVerdict ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta& meta);
+  tcp::TapVerdict tcp_outbound(tcp::TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst);
+  bool failover_traffic_inbound(std::uint16_t src_port, std::uint16_t dst_port) const;
+
+  apps::Host& host_;
+  FailoverConfig cfg_;
+  ip::Ipv4 divert_to_;
+  bool taken_over_ = false;
+  bool paused_ = false;
+  SimTime takeover_time_ = 0;
+  struct HeldSegment {
+    tcp::TcpSegment seg;
+    ip::Ipv4 dst;
+  };
+  std::vector<HeldSegment> pause_buffer_;
+  ip::HookId ip_hook_ = 0;
+  tcp::TapId out_tap_ = 0;
+  /// Liveness sentinel for deferred events (ARP repeats, pause resume).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t translated_ = 0, diverted_ = 0, snooped_dropped_ = 0;
+};
+
+}  // namespace tfo::core

@@ -1,0 +1,57 @@
+// IPv4 addresses and prefixes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace tfo::ip {
+
+struct Ipv4 {
+  std::uint32_t v = 0;  // host byte order
+
+  static constexpr Ipv4 any() { return Ipv4{0}; }
+
+  /// Parses dotted-quad text; returns any() on malformed input.
+  static Ipv4 parse(std::string_view s) {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    char tail = 0;
+    const std::string str(s);
+    if (std::sscanf(str.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+        a > 255 || b > 255 || c > 255 || d > 255) {
+      return any();
+    }
+    return Ipv4{(a << 24) | (b << 16) | (c << 8) | d};
+  }
+
+  std::string str() const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xff,
+                  (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff);
+    return buf;
+  }
+
+  bool is_any() const { return v == 0; }
+
+  friend bool operator==(const Ipv4&, const Ipv4&) = default;
+  friend auto operator<=>(const Ipv4&, const Ipv4&) = default;
+};
+
+/// True if `addr` falls inside `network`/`prefix_len`.
+constexpr bool in_subnet(Ipv4 addr, Ipv4 network, int prefix_len) {
+  if (prefix_len <= 0) return true;
+  const std::uint32_t mask =
+      prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+  return (addr.v & mask) == (network.v & mask);
+}
+
+}  // namespace tfo::ip
+
+template <>
+struct std::hash<tfo::ip::Ipv4> {
+  std::size_t operator()(const tfo::ip::Ipv4& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.v);
+  }
+};

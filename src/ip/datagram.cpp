@@ -1,0 +1,42 @@
+#include "ip/datagram.hpp"
+
+#include "common/checksum.hpp"
+
+namespace tfo::ip {
+
+Bytes IpDatagram::serialize() const {
+  Bytes out;
+  out.reserve(total_length());
+  put_u8(out, 0x45);  // version 4, IHL 5
+  put_u8(out, 0);     // TOS
+  put_u16(out, static_cast<std::uint16_t>(total_length()));
+  put_u16(out, id);
+  put_u16(out, 0);  // flags/fragment: never fragmented (MSS <= MTU)
+  put_u8(out, ttl);
+  put_u8(out, static_cast<std::uint8_t>(proto));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src.v);
+  put_u32(out, dst.v);
+  const std::uint16_t ck = inet_checksum(BytesView(out.data(), kHeaderBytes));
+  set_u16(out, 10, ck);
+  append(out, payload);
+  return out;
+}
+
+std::optional<IpDatagram> IpDatagram::parse(BytesView wire) {
+  if (wire.size() < kHeaderBytes) return std::nullopt;
+  if (get_u8(wire, 0) != 0x45) return std::nullopt;  // no options supported
+  const std::uint16_t tot_len = get_u16(wire, 2);
+  if (tot_len < kHeaderBytes || tot_len > wire.size()) return std::nullopt;
+  if (inet_checksum(wire.subspan(0, kHeaderBytes)) != 0) return std::nullopt;
+  IpDatagram d;
+  d.id = get_u16(wire, 4);
+  d.ttl = get_u8(wire, 8);
+  d.proto = static_cast<Proto>(get_u8(wire, 9));
+  d.src = Ipv4{get_u32(wire, 12)};
+  d.dst = Ipv4{get_u32(wire, 16)};
+  d.payload.assign(wire.begin() + kHeaderBytes, wire.begin() + tot_len);
+  return d;
+}
+
+}  // namespace tfo::ip

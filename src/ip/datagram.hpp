@@ -1,0 +1,40 @@
+// IPv4 datagrams: structured form plus wire serialization with a real
+// RFC 791 header checksum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "ip/addr.hpp"
+
+namespace tfo::ip {
+
+/// IP protocol numbers the stack demultiplexes.
+enum class Proto : std::uint8_t {
+  kTcp = 6,
+  /// Fault-detector heartbeats (an unassigned experimental number).
+  kHeartbeat = 200,
+};
+
+struct IpDatagram {
+  Ipv4 src;
+  Ipv4 dst;
+  Proto proto = Proto::kTcp;
+  std::uint8_t ttl = 64;
+  std::uint16_t id = 0;
+  Bytes payload;
+
+  static constexpr std::size_t kHeaderBytes = 20;
+
+  std::size_t total_length() const { return kHeaderBytes + payload.size(); }
+
+  /// Serializes header + payload; computes the header checksum.
+  Bytes serialize() const;
+
+  /// Parses a wire datagram; verifies the header checksum and length.
+  /// Returns nullopt on malformed input.
+  static std::optional<IpDatagram> parse(BytesView wire);
+};
+
+}  // namespace tfo::ip

@@ -1,0 +1,170 @@
+#include "ip/ip_layer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tfo::ip {
+
+std::size_t IpLayer::add_interface(Interface iface) {
+  TFO_ASSERT(iface.nic != nullptr && iface.arp != nullptr,
+             "interface requires a NIC and an ARP entity");
+  interfaces_.push_back(iface);
+  return interfaces_.size() - 1;
+}
+
+void IpLayer::set_default_gateway(Ipv4 gateway, std::size_t iface_idx) {
+  default_gw_ = {gateway, iface_idx};
+}
+
+std::vector<Ipv4> IpLayer::local_addresses() const {
+  std::vector<Ipv4> out;
+  out.reserve(interfaces_.size() + aliases_.size());
+  for (const auto& iface : interfaces_) out.push_back(iface.addr);
+  out.insert(out.end(), aliases_.begin(), aliases_.end());
+  return out;
+}
+
+bool IpLayer::is_local(Ipv4 addr) const {
+  for (const auto& iface : interfaces_) {
+    if (iface.addr == addr) return true;
+  }
+  return std::find(aliases_.begin(), aliases_.end(), addr) != aliases_.end();
+}
+
+void IpLayer::remove_alias(Ipv4 addr) {
+  aliases_.erase(std::remove(aliases_.begin(), aliases_.end(), addr), aliases_.end());
+}
+
+std::optional<IpLayer::Route> IpLayer::route_for(Ipv4 dst) const {
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    if (in_subnet(dst, interfaces_[i].addr, interfaces_[i].prefix_len)) {
+      return Route{Ipv4::any(), i};
+    }
+  }
+  if (default_gw_) return Route{default_gw_->first, default_gw_->second};
+  return std::nullopt;
+}
+
+void IpLayer::send(Proto proto, Ipv4 src, Ipv4 dst, Bytes payload) {
+  IpDatagram d;
+  d.proto = proto;
+  d.src = src;
+  d.dst = dst;
+  d.id = next_ip_id_++;
+  d.payload = std::move(payload);
+  send_datagram(std::move(d));
+}
+
+void IpLayer::send_datagram(IpDatagram dgram) {
+  for (auto& [id, hook] : outbound_hooks_) {
+    switch (hook(dgram)) {
+      case HookVerdict::kContinue: break;
+      case HookVerdict::kConsume: return;
+      case HookVerdict::kDrop: return;
+    }
+  }
+  const auto route = route_for(dgram.dst);
+  if (!route) {
+    TFO_LOG(kWarn, "ip") << "no route to " << dgram.dst.str();
+    return;
+  }
+  if (dgram.src.is_any()) dgram.src = interfaces_[route->iface_idx].addr;
+  const Ipv4 next_hop = route->next_hop.is_any() ? dgram.dst : route->next_hop;
+  transmit_on(route->iface_idx, next_hop, std::move(dgram));
+}
+
+void IpLayer::transmit_on(std::size_t iface_idx, Ipv4 next_hop, IpDatagram dgram) {
+  Interface& iface = interfaces_[iface_idx];
+  ++tx_count_;
+  Bytes wire = dgram.serialize();
+  iface.arp->resolve(next_hop, [nic = iface.nic, wire = std::move(wire)](
+                                   net::MacAddress mac) {
+    net::EthernetFrame frame;
+    frame.dst = mac;
+    frame.type = net::EtherType::kIpv4;
+    frame.payload = wire;
+    nic->send(std::move(frame));
+  });
+}
+
+void IpLayer::handle_frame(const net::EthernetFrame& frame, bool to_our_mac) {
+  auto parsed = IpDatagram::parse(frame.payload);
+  if (!parsed) {
+    ++rx_dropped_;
+    return;
+  }
+  IpDatagram dgram = std::move(*parsed);
+  RxMeta meta{to_our_mac, frame.src};
+
+  for (auto& [id, hook] : inbound_hooks_) {
+    switch (hook(dgram, meta)) {
+      case HookVerdict::kContinue: break;
+      case HookVerdict::kConsume: return;
+      case HookVerdict::kDrop:
+        ++rx_dropped_;
+        return;
+    }
+  }
+
+  if (is_local(dgram.dst)) {
+    auto it = protocols_.find(static_cast<std::uint8_t>(dgram.proto));
+    if (it == protocols_.end()) {
+      ++rx_dropped_;
+      return;
+    }
+    ++rx_delivered_;
+    it->second(dgram, meta);
+    return;
+  }
+
+  // Not addressed to a frame we own at L2 either: only routers proceed.
+  if (forwarding_ && to_our_mac) {
+    forward(std::move(dgram));
+    return;
+  }
+  ++rx_dropped_;
+}
+
+void IpLayer::forward(IpDatagram dgram) {
+  if (dgram.ttl <= 1) {
+    ++rx_dropped_;
+    return;
+  }
+  dgram.ttl -= 1;
+  const auto route = route_for(dgram.dst);
+  if (!route) {
+    ++rx_dropped_;
+    return;
+  }
+  const Ipv4 next_hop = route->next_hop.is_any() ? dgram.dst : route->next_hop;
+  transmit_on(route->iface_idx, next_hop, std::move(dgram));
+}
+
+void IpLayer::register_protocol(Proto proto, ProtoHandler handler) {
+  protocols_[static_cast<std::uint8_t>(proto)] = std::move(handler);
+}
+
+HookId IpLayer::add_inbound_hook(InboundHook hook) {
+  const HookId id = next_hook_id_++;
+  inbound_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+HookId IpLayer::add_outbound_hook(OutboundHook hook) {
+  const HookId id = next_hook_id_++;
+  outbound_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void IpLayer::remove_hook(HookId id) {
+  auto drop = [id](auto& vec) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [id](const auto& p) { return p.first == id; }),
+              vec.end());
+  };
+  drop(inbound_hooks_);
+  drop(outbound_hooks_);
+}
+
+}  // namespace tfo::ip

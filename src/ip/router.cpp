@@ -1,0 +1,43 @@
+#include "ip/router.hpp"
+
+namespace tfo::ip {
+
+std::uint32_t Router::next_router_id_ = 0x70000000;
+
+Router::Router(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), ip_(sim) {
+  ip_.set_forwarding(true);
+  next_mac_id_ = next_router_id_;
+  next_router_id_ += 0x100;
+}
+
+std::size_t Router::add_port(net::Medium& medium, Ipv4 addr, int prefix_len,
+                             net::NicParams nic_params, ArpParams arp_params) {
+  auto port = std::make_unique<Port>();
+  port->nic = std::make_unique<net::Nic>(
+      sim_, name_ + ".eth" + std::to_string(ports_.size()),
+      net::MacAddress::from_id(next_mac_id_++), nic_params);
+  port->arp = std::make_unique<ArpEntity>(
+      sim_, *port->nic, [this] { return ip_.local_addresses(); }, arp_params);
+
+  net::Nic* nic = port->nic.get();
+  ArpEntity* arp = port->arp.get();
+  nic->set_rx_handler([this, arp](const net::EthernetFrame& frame, bool to_us) {
+    switch (frame.type) {
+      case net::EtherType::kArp:
+        arp->handle_frame(frame);
+        break;
+      case net::EtherType::kIpv4:
+        ip_.handle_frame(frame, to_us);
+        break;
+    }
+  });
+  nic->attach(medium);
+
+  const std::size_t idx =
+      ip_.add_interface({nic, arp, addr, prefix_len});
+  ports_.push_back(std::move(port));
+  return idx;
+}
+
+}  // namespace tfo::ip

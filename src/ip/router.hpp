@@ -1,0 +1,48 @@
+// A multi-homed IP router joining network segments.
+//
+// The paper's WAN FTP experiment (Figure 6) places a router between the
+// server LAN and a wide-area link; the router's ARP table is also the one
+// whose update latency defines the §5 takeover interval T.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ip/arp.hpp"
+#include "ip/ip_layer.hpp"
+#include "net/medium.hpp"
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfo::ip {
+
+class Router {
+ public:
+  Router(sim::Simulator& sim, std::string name);
+
+  /// Attaches a port to `medium` with the given address/prefix.
+  /// Returns the interface index.
+  std::size_t add_port(net::Medium& medium, Ipv4 addr, int prefix_len,
+                       net::NicParams nic_params = {}, ArpParams arp_params = {});
+
+  IpLayer& ip() { return ip_; }
+  net::Nic& nic(std::size_t port) { return *ports_.at(port)->nic; }
+  ArpEntity& arp(std::size_t port) { return *ports_.at(port)->arp; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<net::Nic> nic;
+    std::unique_ptr<ArpEntity> arp;
+  };
+
+  sim::Simulator& sim_;
+  std::string name_;
+  IpLayer ip_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::uint32_t next_mac_id_;
+  static std::uint32_t next_router_id_;
+};
+
+}  // namespace tfo::ip

@@ -1,0 +1,48 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace tfo::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> b{};
+
+  static MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  /// Deterministic locally-administered address derived from a small id.
+  static MacAddress from_id(std::uint32_t id) {
+    return MacAddress{{0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)}};
+  }
+
+  bool is_broadcast() const { return *this == broadcast(); }
+
+  std::string str() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1],
+                  b[2], b[3], b[4], b[5]);
+    return buf;
+  }
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+};
+
+}  // namespace tfo::net
+
+template <>
+struct std::hash<tfo::net::MacAddress> {
+  std::size_t operator()(const tfo::net::MacAddress& m) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto byte : m.b) h = (h ^ byte) * 1099511628211ull;
+    return h;
+  }
+};

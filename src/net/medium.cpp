@@ -1,0 +1,120 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "net/nic.hpp"
+
+namespace tfo::net {
+
+// ---------------------------------------------------------------- Shared
+
+SharedMedium::SharedMedium(sim::Simulator& sim, SharedMediumParams params)
+    : sim_(sim), params_(params), loss_rng_(params.loss_seed) {}
+
+void SharedMedium::attach(Nic* nic) { nics_.push_back(nic); }
+
+void SharedMedium::detach(Nic* nic) {
+  nics_.erase(std::remove(nics_.begin(), nics_.end(), nic), nics_.end());
+}
+
+SimDuration SharedMedium::wire_time(const EthernetFrame& f) const {
+  const std::uint64_t bits = static_cast<std::uint64_t>(f.wire_bytes()) * 8;
+  return static_cast<SimDuration>(bits * 1'000'000'000ull / params_.bandwidth_bps);
+}
+
+void SharedMedium::transmit(Nic* sender, EthernetFrame frame) {
+  const SimDuration tx = wire_time(frame);
+  SimTime start = sim_.now();
+  if (params_.half_duplex) {
+    // One wire: all transmissions serialize against each other.
+    if (busy_until_ > start) {
+      ++deferrals_;
+      start = busy_until_;
+    }
+    busy_until_ = start + static_cast<SimTime>(tx);
+  } else {
+    // Switched (full duplex): each sender owns an independent uplink and
+    // serializes only against itself.
+    SimTime& sender_busy = tx_busy_until_[sender];
+    if (sender_busy > start) {
+      ++deferrals_;
+      start = sender_busy;
+    }
+    sender_busy = start + static_cast<SimTime>(tx);
+  }
+  wire_bytes_carried_ += frame.wire_bytes();
+  const SimTime arrive =
+      start + static_cast<SimTime>(tx) + static_cast<SimTime>(params_.propagation);
+  sim_.schedule_at(arrive, [this, sender, f = std::move(frame)] { deliver(sender, f); });
+}
+
+void SharedMedium::deliver(Nic* sender, const EthernetFrame& frame) {
+  // Snapshot: a receive handler may attach/detach NICs (e.g. failover).
+  const std::vector<Nic*> nics = nics_;
+  for (Nic* nic : nics) {
+    if (nic == sender) continue;
+    if (loss_fn_ && loss_fn_(*sender, *nic, frame)) continue;
+    if (params_.loss_probability > 0.0 && loss_rng_.bernoulli(params_.loss_probability)) {
+      continue;
+    }
+    nic->deliver(frame);
+  }
+}
+
+// ---------------------------------------------------------- PointToPoint
+
+PointToPointLink::PointToPointLink(sim::Simulator& sim, PointToPointParams params)
+    : sim_(sim), params_(params), loss_rng_(params.loss_seed) {}
+
+void PointToPointLink::attach(Nic* nic) {
+  if (ends_[0] == nullptr) {
+    ends_[0] = nic;
+  } else if (ends_[1] == nullptr) {
+    ends_[1] = nic;
+  } else {
+    TFO_ASSERT(false, "PointToPointLink supports exactly two endpoints");
+  }
+}
+
+void PointToPointLink::detach(Nic* nic) {
+  for (auto& end : ends_) {
+    if (end == nic) end = nullptr;
+  }
+}
+
+SimDuration PointToPointLink::wire_time(const EthernetFrame& f) const {
+  const std::uint64_t bits = static_cast<std::uint64_t>(f.wire_bytes()) * 8;
+  return static_cast<SimDuration>(bits * 1'000'000'000ull / params_.bandwidth_bps);
+}
+
+void PointToPointLink::transmit(Nic* sender, EthernetFrame frame) {
+  int side = -1;
+  if (sender == ends_[0]) side = 0;
+  if (sender == ends_[1]) side = 1;
+  TFO_ASSERT(side >= 0, "transmit from NIC not attached to link");
+  Nic* peer = ends_[1 - side];
+  if (peer == nullptr) return;
+
+  Direction& dir = dir_[side];
+  if (dir.in_flight >= params_.queue_limit) {
+    ++drops_queue_;
+    return;
+  }
+  if (params_.loss_probability > 0.0 && loss_rng_.bernoulli(params_.loss_probability)) {
+    ++drops_loss_;
+    return;
+  }
+  const SimDuration tx = wire_time(frame);
+  const SimTime start = std::max(sim_.now(), dir.busy_until);
+  dir.busy_until = start + static_cast<SimTime>(tx);
+  ++dir.in_flight;
+  const SimTime arrive = dir.busy_until + static_cast<SimTime>(params_.propagation);
+  sim_.schedule_at(arrive, [this, side, peer, f = std::move(frame)] {
+    --dir_[side].in_flight;
+    peer->deliver(f);
+  });
+}
+
+}  // namespace tfo::net

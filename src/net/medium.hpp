@@ -1,0 +1,131 @@
+// Simulated Ethernet segments and point-to-point links.
+//
+// `SharedMedium` models the paper's testbed: a 100 Mbit/s Ethernet
+// collision domain. In half-duplex mode (the default) only one frame
+// occupies the wire at a time, so diverted secondary→primary reply traffic
+// contends with primary→client traffic — the effect behind the paper's
+// Figure 5 receive-rate gap. Every attached NIC sees every frame, which is
+// what lets the secondary server snoop in promiscuous mode (§3.1).
+//
+// `PointToPointLink` models a WAN hop (bandwidth, propagation delay,
+// random loss, finite queue) for the paper's FTP experiment (Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfo::net {
+
+class Nic;
+
+/// Decides, per delivery, whether a frame is lost between a sender and one
+/// receiver. Per-receiver loss lets tests reproduce the paper's §4 cases
+/// ("the secondary server drops the client segment although the primary
+/// server receives it").
+using LossFn = std::function<bool(const Nic& sender, const Nic& receiver,
+                                  const EthernetFrame& frame)>;
+
+/// Common interface: a place NICs attach to and transmit through.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+  virtual void attach(Nic* nic) = 0;
+  virtual void detach(Nic* nic) = 0;
+  virtual void transmit(Nic* sender, EthernetFrame frame) = 0;
+};
+
+struct SharedMediumParams {
+  /// Link speed in bits per second (paper testbed: 100 Mbit/s).
+  std::uint64_t bandwidth_bps = 100'000'000;
+  /// One-way propagation delay across the segment.
+  SimDuration propagation = microseconds(1);
+  /// Half-duplex: the wire serializes all transmissions (hub semantics).
+  /// Full-duplex: each sender owns an independent transmit path (switch
+  /// semantics without per-port forwarding tables).
+  bool half_duplex = true;
+  /// Uniform per-delivery loss probability (0 disables).
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 42;
+};
+
+class SharedMedium : public Medium {
+ public:
+  SharedMedium(sim::Simulator& sim, SharedMediumParams params = {});
+
+  void attach(Nic* nic) override;
+  void detach(Nic* nic) override;
+  void transmit(Nic* sender, EthernetFrame frame) override;
+
+  /// Installs an additional loss rule, consulted before the uniform model.
+  /// Return true to drop. Pass nullptr to clear.
+  void set_loss_fn(LossFn fn) { loss_fn_ = std::move(fn); }
+
+  /// Total simulated octet-equivalents put on the wire (contention metric).
+  std::uint64_t wire_bytes_carried() const { return wire_bytes_carried_; }
+  /// Number of transmissions that had to wait for a busy wire.
+  std::uint64_t deferrals() const { return deferrals_; }
+
+  const SharedMediumParams& params() const { return params_; }
+
+ private:
+  SimDuration wire_time(const EthernetFrame& f) const;
+  void deliver(Nic* sender, const EthernetFrame& frame);
+
+  sim::Simulator& sim_;
+  SharedMediumParams params_;
+  std::vector<Nic*> nics_;
+  SimTime busy_until_ = 0;  // half-duplex: the single wire
+  std::unordered_map<Nic*, SimTime> tx_busy_until_;  // full-duplex: per port
+  Rng loss_rng_;
+  LossFn loss_fn_;
+  std::uint64_t wire_bytes_carried_ = 0;
+  std::uint64_t deferrals_ = 0;
+};
+
+struct PointToPointParams {
+  std::uint64_t bandwidth_bps = 10'000'000;  // a modest WAN uplink
+  SimDuration propagation = milliseconds(10);
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 43;
+  /// Maximum frames queued per direction before tail drop.
+  std::size_t queue_limit = 64;
+};
+
+/// Full-duplex two-endpoint link with finite FIFO queues per direction.
+class PointToPointLink : public Medium {
+ public:
+  PointToPointLink(sim::Simulator& sim, PointToPointParams params = {});
+
+  void attach(Nic* nic) override;
+  void detach(Nic* nic) override;
+  void transmit(Nic* sender, EthernetFrame frame) override;
+
+  std::uint64_t drops_queue() const { return drops_queue_; }
+  std::uint64_t drops_loss() const { return drops_loss_; }
+  const PointToPointParams& params() const { return params_; }
+
+ private:
+  struct Direction {
+    SimTime busy_until = 0;
+    std::size_t in_flight = 0;
+  };
+  SimDuration wire_time(const EthernetFrame& f) const;
+
+  sim::Simulator& sim_;
+  PointToPointParams params_;
+  Nic* ends_[2] = {nullptr, nullptr};
+  Direction dir_[2];  // dir_[i]: traffic transmitted by ends_[i]
+  Rng loss_rng_;
+  std::uint64_t drops_queue_ = 0;
+  std::uint64_t drops_loss_ = 0;
+};
+
+}  // namespace tfo::net

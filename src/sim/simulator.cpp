@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace tfo::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  auto ev = std::make_shared<Event>();
+  ev->time = t;
+  ev->order = next_order_++;
+  ev->id = next_id_++;
+  ev->fn = std::move(fn);
+  by_id_[ev->id] = ev;
+  queue_.push(ev);
+  ++live_events_;
+  return ev->id;
+}
+
+EventId Simulator::schedule_after(SimDuration d, std::function<void()> fn) {
+  const SimTime t = d <= 0 ? now_ : now_ + static_cast<SimTime>(d);
+  return schedule_at(t, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  if (auto ev = it->second.lock(); ev && !ev->cancelled) {
+    ev->cancelled = true;
+    --live_events_;
+  }
+  by_id_.erase(it);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    queue_.pop();
+    if (ev->cancelled) continue;
+    by_id_.erase(ev->id);
+    --live_events_;
+    TFO_ASSERT(ev->time >= now_, "event queue went backwards in time");
+    now_ = ev->time;
+    // Move the closure out so re-entrant scheduling during the call is safe.
+    auto fn = std::move(ev->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    TFO_ASSERT(++n <= max_events, "simulator exceeded max_events (runaway loop?)");
+  }
+}
+
+void Simulator::run_until(SimTime t, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled tombstones at the head without advancing time.
+    auto ev = queue_.top();
+    if (ev->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (ev->time > t) break;
+    step();
+    TFO_ASSERT(++n <= max_events, "simulator exceeded max_events (runaway loop?)");
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_for(SimDuration d, std::uint64_t max_events) {
+  run_until(d <= 0 ? now_ : now_ + static_cast<SimTime>(d), max_events);
+}
+
+}  // namespace tfo::sim

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulator.
+//
+// All network and protocol activity in this library is driven by a single
+// Simulator instance. Events scheduled for the same instant run in
+// scheduling order (a strictly increasing tiebreaker), which makes every
+// run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tfo::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Value 0 is "no event".
+using EventId = std::uint64_t;
+constexpr EventId kNoEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (clamped to now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after now (negative d is clamped to now).
+  EventId schedule_after(SimDuration d, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-run or invalid id is a
+  /// harmless no-op, so callers need not track completion.
+  void cancel(EventId id);
+
+  /// Runs the single next event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs until the queue drains (or `max_events` is hit, a runaway guard).
+  void run(std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Runs events with time <= t, then sets now() to t.
+  void run_until(SimTime t, std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Runs events for duration `d` from the current time.
+  void run_for(SimDuration d, std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_events_; }
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t order;  // tiebreaker: schedule order
+    EventId id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Cmp {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->order > b->order;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_order_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, Cmp>
+      queue_;
+  // Cancellation: ids of events flagged dead before they fire. We flag via
+  // the shared Event; this map finds the Event by id.
+  std::unordered_map<EventId, std::weak_ptr<Event>> by_id_;
+};
+
+}  // namespace tfo::sim

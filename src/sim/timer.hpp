@@ -1,0 +1,52 @@
+// RAII one-shot timer bound to a Simulator.
+//
+// Protocol state machines hold Timers as members; destruction (or restart)
+// cancels the pending callback, so a destroyed connection can never be
+// called back — the idiomatic fix for the classic "timer fires into freed
+// TCB" lifetime bug.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace tfo::sim {
+
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(&sim) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer to fire `d` from now. A pending arm is cancelled.
+  void start(SimDuration d, std::function<void()> fn) {
+    stop();
+    deadline_ = sim_->now() + static_cast<SimTime>(d < 0 ? 0 : d);
+    id_ = sim_->schedule_after(d, [this, fn = std::move(fn)] {
+      id_ = kNoEvent;
+      fn();
+    });
+  }
+
+  /// Cancels the pending callback, if any.
+  void stop() {
+    if (id_ != kNoEvent) {
+      sim_->cancel(id_);
+      id_ = kNoEvent;
+    }
+  }
+
+  bool armed() const { return id_ != kNoEvent; }
+
+  /// Absolute fire time of the armed timer (meaningless when not armed).
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = kNoEvent;
+  SimTime deadline_ = 0;
+};
+
+}  // namespace tfo::sim

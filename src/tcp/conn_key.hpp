@@ -1,0 +1,40 @@
+// The 4-tuple identifying a TCP connection (§7.1: "a TCP connection is
+// uniquely identified by the 4-tuple").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ip/addr.hpp"
+
+namespace tfo::tcp {
+
+struct ConnKey {
+  ip::Ipv4 local_ip;
+  std::uint16_t local_port = 0;
+  ip::Ipv4 remote_ip;
+  std::uint16_t remote_port = 0;
+
+  friend bool operator==(const ConnKey&, const ConnKey&) = default;
+
+  ConnKey reversed() const { return {remote_ip, remote_port, local_ip, local_port}; }
+
+  std::string str() const {
+    return local_ip.str() + ":" + std::to_string(local_port) + "<->" +
+           remote_ip.str() + ":" + std::to_string(remote_port);
+  }
+};
+
+}  // namespace tfo::tcp
+
+template <>
+struct std::hash<tfo::tcp::ConnKey> {
+  std::size_t operator()(const tfo::tcp::ConnKey& k) const noexcept {
+    std::size_t h = std::hash<std::uint32_t>{}(k.local_ip.v);
+    h = h * 31 + k.local_port;
+    h = h * 31 + std::hash<std::uint32_t>{}(k.remote_ip.v);
+    h = h * 31 + k.remote_port;
+    return h;
+  }
+};

@@ -1,0 +1,775 @@
+#include "tcp/connection.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::tcp {
+
+const char* state_name(TcpState s) {
+  switch (s) {
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+    case TcpState::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+
+Connection::Connection(TcpLayer& owner, ConnKey key, TcpParams params,
+                       bool failover_flagged)
+    : owner_(owner),
+      key_(key),
+      params_(params),
+      failover_flagged_(failover_flagged),
+      nodelay_(!params.nagle),
+      eff_mss_(params.mss),
+      rto_(params.initial_rto),
+      rto_timer_(owner.simulator()),
+      delack_timer_(owner.simulator()),
+      persist_timer_(owner.simulator()),
+      time_wait_timer_(owner.simulator()),
+      keepalive_timer_(owner.simulator()) {
+  cwnd_ = params_.congestion_control
+              ? params_.initial_cwnd_segments * params_.mss
+              : 0x3fffffffu;
+  quickack_left_ = params_.quickack_segments;
+}
+
+std::size_t Connection::send_queue_pending() const {
+  std::size_t n = 0;
+  for (const auto& w : app_writes_) n += w.data.size() - w.moved;
+  return n;
+}
+
+Connection::Info Connection::info() const {
+  Info i;
+  i.timeouts = stat_timeouts_;
+  i.fast_retransmits = stat_fast_retransmits_;
+  i.segments_sent = stat_segments_sent_;
+  i.segments_received = stat_segments_received_;
+  i.srtt = srtt_;
+  i.rto = rto_;
+  i.cwnd = cwnd_;
+  i.ssthresh = ssthresh_;
+  i.snd_wnd = snd_wnd_;
+  i.bytes_in_flight = snd_nxt_ - snd_una_;
+  return i;
+}
+
+// --------------------------------------------------------------- opening
+
+void Connection::start_active_open() {
+  iss_ = owner_.generate_isn();
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  state_ = TcpState::kSynSent;
+  send_syn(/*with_ack=*/false);
+}
+
+void Connection::start_passive_open(const TcpSegment& syn) {
+  TFO_ASSERT(syn.syn(), "passive open requires a SYN segment");
+  iss_ = owner_.generate_isn();
+  irs_ = syn.seq;
+  rcv_nxt_ = 1;  // the SYN consumed offset 0
+  if (syn.mss) eff_mss_ = std::min<std::uint32_t>(params_.mss, *syn.mss);
+  snd_wnd_ = syn.window;
+  state_ = TcpState::kSynRcvd;
+  send_syn(/*with_ack=*/true);
+}
+
+void Connection::send_syn(bool with_ack) {
+  TcpSegment seg;
+  seg.src_port = key_.local_port;
+  seg.dst_port = key_.remote_port;
+  seg.seq = iss_;
+  seg.flags = Flags::kSyn;
+  if (with_ack) {
+    seg.flags |= Flags::kAck;
+    seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+  }
+  seg.window = static_cast<std::uint16_t>(
+      std::min<std::size_t>(params_.recv_buf, 65535));
+  seg.mss = params_.mss;
+  snd_nxt_ = std::max<std::uint64_t>(snd_nxt_, 1);  // SYN occupies offset 0
+  highest_sent_ = std::max(highest_sent_, snd_nxt_);
+  last_adv_wnd_ = seg.window;
+  emit(std::move(seg));
+  arm_rto();
+}
+
+// ------------------------------------------------------------ app calls
+
+void Connection::send(Bytes data, std::function<void()> on_accepted) {
+  if (state_ == TcpState::kClosed || fin_queued_) {
+    TFO_LOG(kWarn, "tcp") << key_.str() << " send() on closed/closing connection";
+    return;
+  }
+  app_writes_.push_back(
+      {std::move(data), 0, std::move(on_accepted), owner_.simulator().now()});
+  pump_app_writes();
+  try_send();
+}
+
+std::size_t Connection::recv(Bytes& out, std::size_t max) {
+  const std::size_t n = std::min(max, rx_buf_.size());
+  out.insert(out.end(), rx_buf_.begin(), rx_buf_.begin() + static_cast<long>(n));
+  rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + static_cast<long>(n));
+  if (n > 0) on_window_open();
+  return n;
+}
+
+void Connection::close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      // BSD semantics: complete the handshake, flush queued data, then
+      // FIN. Tearing down here would silently discard pending writes.
+      if (app_writes_.empty() && send_buf_.empty()) {
+        teardown(CloseReason::kGraceful);
+      } else {
+        close_requested_ = true;
+      }
+      return;
+    case TcpState::kSynRcvd:
+    case TcpState::kEstablished:
+      fin_queued_ = true;
+      state_ = TcpState::kFinWait1;
+      try_send();
+      return;
+    case TcpState::kCloseWait:
+      fin_queued_ = true;
+      state_ = TcpState::kLastAck;
+      try_send();
+      return;
+    default:
+      return;  // already closing/closed
+  }
+}
+
+void Connection::abort() {
+  if (state_ != TcpState::kClosed && state_ != TcpState::kTimeWait) send_rst();
+  teardown(CloseReason::kAborted);
+}
+
+// ---------------------------------------------------------- send engine
+
+void Connection::pump_app_writes() {
+  while (!app_writes_.empty()) {
+    PendingWrite& w = app_writes_.front();
+    const std::size_t space =
+        params_.send_buf > send_buf_.size() ? params_.send_buf - send_buf_.size() : 0;
+    const std::size_t take = std::min(space, w.data.size() - w.moved);
+    if (take > 0) {
+      send_buf_.insert(send_buf_.end(), w.data.begin() + static_cast<long>(w.moved),
+                       w.data.begin() + static_cast<long>(w.moved + take));
+      w.moved += take;
+    }
+    if (w.moved == w.data.size()) {
+      auto cb = std::move(w.on_accepted);
+      // Completion happens no earlier than the user→kernel copy of the
+      // whole message would take (Figure 3's sub-buffer slope), and is
+      // always deferred so it cannot re-enter try_send mid-flight.
+      const SimTime copy_done =
+          w.enqueued_at + static_cast<SimTime>(params_.send_copy_ns_per_byte) *
+                              w.data.size();
+      app_writes_.pop_front();
+      if (cb) {
+        owner_.simulator().schedule_at(std::max(copy_done, owner_.simulator().now()),
+                                       std::move(cb));
+      }
+    } else {
+      break;  // buffer full
+    }
+  }
+}
+
+std::uint32_t Connection::usable_window() const {
+  const std::uint32_t wnd = std::min<std::uint32_t>(snd_wnd_, cwnd_);
+  const std::uint32_t flight = in_flight();
+  return wnd > flight ? wnd - flight : 0;
+}
+
+bool Connection::fin_ready_at(std::uint64_t offset) const {
+  // Our FIN goes on the wire once every buffered byte precedes `offset`.
+  return fin_queued_ && offset == send_base_ + send_buf_.size() &&
+         app_writes_.empty();
+}
+
+void Connection::try_send() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait ||
+      state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd) {
+    return;
+  }
+  bool sent_any = false;
+  for (;;) {
+    const std::uint64_t buffered_end = send_base_ + send_buf_.size();
+    std::uint64_t avail = buffered_end > snd_nxt_ ? buffered_end - snd_nxt_ : 0;
+    const bool fin_now = fin_ready_at(snd_nxt_ + avail) && !fin_offset_;
+    if (avail == 0 && !fin_now) break;
+
+    std::uint32_t win = usable_window();
+    if (win == 0) {
+      if (in_flight() == 0 && !persist_timer_.armed()) {
+        // Zero-window deadlock guard: arm the persist timer.
+        persist_backoff_ = params_.persist_interval;
+        persist_timer_.start(persist_backoff_, [this] { on_rto(); });
+      }
+      break;
+    }
+
+    std::uint32_t len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>({avail, eff_mss_, win}));
+
+    // Nagle: hold small segments while data is in flight.
+    if (!nodelay_ && len < eff_mss_ && in_flight() > 0 && !fin_now &&
+        len == avail) {
+      break;
+    }
+    if (len == 0 && !fin_now) break;
+
+    TcpSegment seg;
+    seg.src_port = key_.local_port;
+    seg.dst_port = key_.remote_port;
+    seg.seq = seq_add(iss_, static_cast<std::int64_t>(snd_nxt_));
+    seg.flags = Flags::kAck;
+    seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+    const std::size_t head = static_cast<std::size_t>(snd_nxt_ - send_base_);
+    seg.payload.assign(send_buf_.begin() + static_cast<long>(head),
+                       send_buf_.begin() + static_cast<long>(head + len));
+    snd_nxt_ += len;
+    if (fin_ready_at(snd_nxt_) && len == avail) {
+      seg.flags |= Flags::kFin;
+      fin_offset_ = snd_nxt_;
+      snd_nxt_ += 1;
+    }
+    if (snd_nxt_ > highest_sent_) highest_sent_ = snd_nxt_;
+    if (snd_nxt_ == buffered_end + (fin_offset_ ? 1 : 0)) seg.flags |= Flags::kPsh;
+    seg.window = static_cast<std::uint16_t>(std::min<std::size_t>(
+        params_.recv_buf - rx_buf_.size(), 65535));
+    last_adv_wnd_ = seg.window;
+    bytes_sent_total_ += len;
+
+    if (!rtt_measuring_) {
+      rtt_measuring_ = true;
+      rtt_offset_ = snd_nxt_;
+      rtt_start_ = owner_.simulator().now();
+    }
+    emit(std::move(seg));
+    sent_any = true;
+    segs_since_ack_ = 0;
+    delack_timer_.stop();  // the ACK rode along
+    if (!rto_timer_.armed()) arm_rto();
+  }
+  if (sent_any) persist_timer_.stop();
+}
+
+void Connection::emit(TcpSegment seg) {
+  ++stat_segments_sent_;
+  TFO_LOG(kTrace, "tcp") << key_.str() << " [" << state_name(state_) << "] tx "
+                         << seg.summary();
+  owner_.send_segment(std::move(seg), key_.local_ip, key_.remote_ip);
+}
+
+void Connection::send_ack_now() {
+  TcpSegment seg;
+  seg.src_port = key_.local_port;
+  seg.dst_port = key_.remote_port;
+  seg.seq = seq_add(iss_, static_cast<std::int64_t>(snd_nxt_));
+  seg.flags = Flags::kAck;
+  seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+  seg.window = static_cast<std::uint16_t>(std::min<std::size_t>(
+      params_.recv_buf - rx_buf_.size(), 65535));
+  last_adv_wnd_ = seg.window;
+  segs_since_ack_ = 0;
+  delack_timer_.stop();
+  emit(std::move(seg));
+}
+
+void Connection::send_rst() {
+  TcpSegment seg;
+  seg.src_port = key_.local_port;
+  seg.dst_port = key_.remote_port;
+  seg.seq = seq_add(iss_, static_cast<std::int64_t>(snd_nxt_));
+  seg.flags = Flags::kRst | Flags::kAck;
+  seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+  emit(std::move(seg));
+}
+
+void Connection::schedule_ack() {
+  if (quickack_left_ > 0) {
+    --quickack_left_;
+    send_ack_now();
+    return;
+  }
+  ++segs_since_ack_;
+  if (segs_since_ack_ >= params_.ack_every_segments) {
+    send_ack_now();
+  } else if (!delack_timer_.armed()) {
+    delack_timer_.start(params_.delayed_ack, [this] { send_ack_now(); });
+  }
+}
+
+// -------------------------------------------------------- retransmission
+
+void Connection::arm_rto() {
+  rto_timer_.start(rto_, [this] { on_rto(); });
+}
+
+void Connection::on_rto() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd) {
+    if (++retries_ > params_.max_syn_retries) {
+      teardown(CloseReason::kTimeout);
+      return;
+    }
+    rto_ = std::min<SimDuration>(rto_ * 2, params_.max_rto);
+    send_syn(state_ == TcpState::kSynRcvd);
+    return;
+  }
+
+  const bool anything_outstanding =
+      in_flight() > 0 || snd_una_ < send_base_ + send_buf_.size() ||
+      (fin_offset_ && snd_una_ <= *fin_offset_);
+  if (!anything_outstanding) return;
+
+  if (++retries_ > params_.max_retries) {
+    teardown(CloseReason::kTimeout);
+    return;
+  }
+  ++stat_timeouts_;
+  // Karn: never sample RTT across a retransmission.
+  rtt_measuring_ = false;
+  // Congestion response to loss.
+  if (params_.congestion_control) {
+    ssthresh_ = std::max<std::uint32_t>(in_flight() / 2, 2 * eff_mss_);
+    cwnd_ = eff_mss_;
+  }
+  rto_ = std::min<SimDuration>(rto_ * 2, params_.max_rto);
+  // Tahoe-style go-back-N: rewind so the paced output engine refills the
+  // whole [snd_una, old snd_nxt) gap under slow start, instead of
+  // recovering one segment per timeout.
+  snd_nxt_ = snd_una_;
+  if (fin_offset_ && *fin_offset_ >= snd_nxt_) {
+    fin_offset_.reset();  // the FIN will be re-emitted at the right point
+  }
+  try_send();
+  if (!rto_timer_.armed()) arm_rto();
+}
+
+void Connection::retransmit_head() {
+  const std::uint64_t buffered_end = send_base_ + send_buf_.size();
+  std::uint32_t len = 0;
+  if (snd_una_ < buffered_end) {
+    len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>({buffered_end - snd_una_, eff_mss_,
+                                 std::max<std::uint32_t>(snd_wnd_, 1)}));
+  }
+  TcpSegment seg;
+  seg.src_port = key_.local_port;
+  seg.dst_port = key_.remote_port;
+  seg.seq = seq_add(iss_, static_cast<std::int64_t>(snd_una_));
+  seg.flags = Flags::kAck;
+  seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+  seg.window = static_cast<std::uint16_t>(std::min<std::size_t>(
+      params_.recv_buf - rx_buf_.size(), 65535));
+  if (len > 0) {
+    const std::size_t head = static_cast<std::size_t>(snd_una_ - send_base_);
+    seg.payload.assign(send_buf_.begin() + static_cast<long>(head),
+                       send_buf_.begin() + static_cast<long>(head + len));
+  }
+  if (fin_offset_ && snd_una_ + len == *fin_offset_) seg.flags |= Flags::kFin;
+  emit(std::move(seg));
+}
+
+void Connection::rtt_sample_maybe(std::uint64_t acked_to) {
+  if (!rtt_measuring_ || acked_to < rtt_offset_) return;
+  rtt_measuring_ = false;
+  const SimDuration r =
+      static_cast<SimDuration>(owner_.simulator().now() - rtt_start_);
+  if (!rtt_valid_) {
+    srtt_ = r;
+    rttvar_ = r / 2;
+    rtt_valid_ = true;
+  } else {
+    const SimDuration err = srtt_ > r ? srtt_ - r : r - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + r) / 8;
+  }
+  rto_ = std::clamp<SimDuration>(srtt_ + std::max<SimDuration>(4 * rttvar_, milliseconds(1)),
+                                 params_.min_rto, params_.max_rto);
+}
+
+// ------------------------------------------------------------- inbound
+
+void Connection::handle_segment(const TcpSegment& seg) {
+  ++stat_segments_received_;
+  // Any inbound traffic proves the peer is alive: reset keepalive.
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    arm_keepalive();
+  }
+  TFO_LOG(kTrace, "tcp") << key_.str() << " [" << state_name(state_) << "] rx "
+                         << seg.summary();
+
+  if (state_ == TcpState::kClosed) return;
+
+  // --- SYN_SENT: expect SYN (ACK of our SYN) per RFC 793 §3.4.
+  if (state_ == TcpState::kSynSent) {
+    if (seg.rst()) {
+      if (seg.has_ack() && seg.ack == seq_add(iss_, 1)) teardown(CloseReason::kRefused);
+      return;
+    }
+    if (!seg.syn()) return;
+    if (seg.has_ack() && seg.ack != seq_add(iss_, 1)) return;  // bogus
+    irs_ = seg.seq;
+    rcv_nxt_ = 1;
+    if (seg.mss) eff_mss_ = std::min<std::uint32_t>(params_.mss, *seg.mss);
+    snd_wnd_ = seg.window;
+    if (seg.has_ack()) {
+      snd_una_ = 1;
+      retries_ = 0;
+      rto_timer_.stop();
+      enter_established();
+      send_ack_now();
+    }
+    return;
+  }
+
+  if (state_ == TcpState::kTimeWait) {
+    if (seg.fin()) {
+      // Peer retransmitted its FIN: our final ACK was lost. Re-ACK and
+      // restart the 2MSL clock.
+      send_ack_now();
+      enter_time_wait();
+    }
+    return;
+  }
+
+  // --- RST.
+  if (seg.rst()) {
+    teardown(CloseReason::kReset);
+    return;
+  }
+
+  // --- Window/sequence plausibility: drop segments entirely outside a
+  // generous window around rcv_nxt (protects unwrapping from garbage).
+  const std::int32_t rel = seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
+  if (rel < -(1 << 30) || rel > (1 << 30)) return;
+
+  if (seg.has_ack()) process_ack(seg);
+  if (state_ == TcpState::kClosed) return;  // ack processing may tear down
+
+  if (!seg.payload.empty() || seg.syn()) process_data(seg);
+  if (seg.fin()) process_fin(seg);
+}
+
+void Connection::process_ack(const TcpSegment& seg) {
+  // Unwrap the ack field to a stream offset around snd_una_.
+  const std::int32_t d =
+      seq_diff(seg.ack, seq_add(iss_, static_cast<std::int64_t>(snd_una_)));
+  const std::int64_t ack_off_s = static_cast<std::int64_t>(snd_una_) + d;
+  if (ack_off_s < 0) return;
+  const std::uint64_t ack_off = static_cast<std::uint64_t>(ack_off_s);
+
+  if (state_ == TcpState::kSynRcvd) {
+    if (ack_off >= 1) {
+      snd_una_ = std::max<std::uint64_t>(snd_una_, 1);
+      retries_ = 0;
+      rto_timer_.stop();
+      enter_established();
+      // Fall through: the ACK may also carry data/window updates.
+    } else {
+      return;
+    }
+  }
+
+  if (ack_off > snd_nxt_) {
+    if (ack_off > highest_sent_) {
+      send_ack_now();  // acks something never sent: bogus
+      return;
+    }
+    // Ack of data sent before an RTO rewind: catch the send point up.
+    snd_nxt_ = ack_off;
+    if (fin_queued_ && !fin_offset_ &&
+        ack_off == send_base_ + send_buf_.size() + 1) {
+      fin_offset_ = ack_off - 1;  // the rewound FIN was acknowledged too
+    }
+  }
+
+  if (ack_off > snd_una_) {
+    const std::uint64_t acked = ack_off - snd_una_;
+    snd_una_ = ack_off;
+    retries_ = 0;
+    dupacks_ = 0;
+    rtt_sample_maybe(ack_off);
+    // New data acknowledged: collapse any exponential backoff back to the
+    // smoothed estimate (RFC 6298 §5.7 / BSD behaviour). Without this a
+    // loss burst leaves the connection crawling at max_rto forever.
+    if (rtt_valid_) {
+      rto_ = std::clamp<SimDuration>(
+          srtt_ + std::max<SimDuration>(4 * rttvar_, milliseconds(1)),
+          params_.min_rto, params_.max_rto);
+    } else {
+      rto_ = params_.initial_rto;
+    }
+    // Trim the send buffer below snd_una_ (SYN/FIN occupy no buffer).
+    const std::uint64_t data_acked_to = std::min(ack_off, send_base_ + send_buf_.size());
+    if (data_acked_to > send_base_) {
+      send_buf_.erase(send_buf_.begin(),
+                      send_buf_.begin() + static_cast<long>(data_acked_to - send_base_));
+      send_base_ = data_acked_to;
+    }
+    if (params_.congestion_control) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += static_cast<std::uint32_t>(std::min<std::uint64_t>(acked, eff_mss_));
+      } else {
+        cwnd_ += std::max<std::uint32_t>(1, eff_mss_ * eff_mss_ / cwnd_);
+      }
+    }
+    if (snd_una_ == snd_nxt_) {
+      rto_timer_.stop();
+    } else {
+      arm_rto();
+    }
+    pump_app_writes();
+  } else if (ack_off == snd_una_ && in_flight() > 0 && seg.payload.empty() &&
+             !seg.fin() && seg.window == snd_wnd_) {
+    if (++dupacks_ == params_.dupack_threshold) {
+      ++stat_fast_retransmits_;
+      // Fast retransmit.
+      if (params_.congestion_control) {
+        ssthresh_ = std::max<std::uint32_t>(in_flight() / 2, 2 * eff_mss_);
+        cwnd_ = ssthresh_;
+      }
+      rtt_measuring_ = false;
+      retransmit_head();
+      arm_rto();
+    }
+  }
+
+  // Window update (RFC 793 WL1/WL2 discipline, in offset space).
+  const std::int32_t seq_rel =
+      seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
+  const std::uint64_t seq_off =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(rcv_nxt_) + seq_rel);
+  if (wl1_ < seq_off || (wl1_ == seq_off && wl2_ <= ack_off)) {
+    const std::uint32_t old_wnd = snd_wnd_;
+    snd_wnd_ = seg.window;
+    wl1_ = seq_off;
+    wl2_ = ack_off;
+    if (old_wnd == 0 && snd_wnd_ > 0) persist_timer_.stop();
+  }
+
+  maybe_advance_close_states();
+  if (state_ != TcpState::kClosed) try_send();
+}
+
+void Connection::process_data(const TcpSegment& seg) {
+  if (seg.syn()) return;  // duplicate handshake segment
+  const std::int32_t rel =
+      seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
+  const std::int64_t start = static_cast<std::int64_t>(rcv_nxt_) + rel;
+  const std::int64_t end = start + static_cast<std::int64_t>(seg.payload.size());
+
+  if (end <= static_cast<std::int64_t>(rcv_nxt_)) {
+    // Entirely old data — retransmission; re-ACK immediately (the peer is
+    // missing our ACK).
+    send_ack_now();
+    return;
+  }
+
+  Bytes data = seg.payload;
+  std::uint64_t off = static_cast<std::uint64_t>(std::max<std::int64_t>(start, 0));
+  if (start < static_cast<std::int64_t>(rcv_nxt_)) {
+    data.erase(data.begin(),
+               data.begin() + static_cast<long>(static_cast<std::int64_t>(rcv_nxt_) - start));
+    off = rcv_nxt_;
+  }
+
+  const std::size_t room = params_.recv_buf - rx_buf_.size();
+  if (off == rcv_nxt_) {
+    if (data.size() > room) data.resize(room);  // beyond window: dropped
+    if (data.empty()) {
+      send_ack_now();  // window probe: answer with current window
+      return;
+    }
+    rcv_nxt_ += data.size();
+    bytes_received_total_ += data.size();
+    append(rx_buf_, data);
+    deliver_in_order();
+    schedule_ack();
+    if (!ooo_.empty()) send_ack_now();  // still a gap above us
+    if (on_readable) on_readable();
+  } else {
+    // Out of order: stash and duplicate-ACK to trigger fast retransmit.
+    if (!data.empty() && data.size() <= room) {
+      ooo_.emplace(off, std::move(data));
+    }
+    send_ack_now();
+  }
+}
+
+void Connection::deliver_in_order() {
+  // Merge any out-of-order runs that are now contiguous.
+  for (auto it = ooo_.begin(); it != ooo_.end();) {
+    if (it->first > rcv_nxt_) break;
+    Bytes& run = it->second;
+    const std::uint64_t run_end = it->first + run.size();
+    if (run_end > rcv_nxt_) {
+      const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - it->first);
+      const std::size_t room = params_.recv_buf - rx_buf_.size();
+      std::size_t take = std::min(run.size() - skip, room);
+      rx_buf_.insert(rx_buf_.end(), run.begin() + static_cast<long>(skip),
+                     run.begin() + static_cast<long>(skip + take));
+      rcv_nxt_ += take;
+      bytes_received_total_ += take;
+      if (take < run.size() - skip) break;  // buffer full
+    }
+    it = ooo_.erase(it);
+  }
+}
+
+void Connection::process_fin(const TcpSegment& seg) {
+  const std::int32_t rel =
+      seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
+  const std::int64_t fin_off =
+      static_cast<std::int64_t>(rcv_nxt_) + rel + static_cast<std::int64_t>(seg.payload.size());
+  if (fin_off < 0) return;
+  peer_fin_offset_ = static_cast<std::uint64_t>(fin_off);
+
+  if (*peer_fin_offset_ != rcv_nxt_) {
+    // FIN beyond data we have not received yet; wait for the gap to fill.
+    send_ack_now();
+    return;
+  }
+  rcv_nxt_ += 1;  // the FIN consumes one sequence position
+  send_ack_now();
+
+  // Transition BEFORE notifying the application: on_peer_fin handlers
+  // commonly call close(), which must see CLOSE_WAIT (-> LAST_ACK), not
+  // the pre-FIN state.
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      // Our FIN not yet acked (otherwise we'd be in FIN_WAIT_2).
+      state_ = TcpState::kClosing;
+      maybe_advance_close_states();
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+
+  if (!peer_fin_delivered_) {
+    peer_fin_delivered_ = true;
+    if (on_peer_fin) on_peer_fin();
+  }
+}
+
+void Connection::maybe_advance_close_states() {
+  const bool fin_acked = fin_offset_ && snd_una_ > *fin_offset_;
+  switch (state_) {
+    case TcpState::kFinWait1:
+      if (fin_acked) state_ = TcpState::kFinWait2;
+      break;
+    case TcpState::kClosing:
+      if (fin_acked) enter_time_wait();
+      break;
+    case TcpState::kLastAck:
+      if (fin_acked) teardown(CloseReason::kGraceful);
+      break;
+    default:
+      break;
+  }
+}
+
+void Connection::on_window_open() {
+  // App drained the receive buffer; if we had been advertising a closed
+  // (or nearly closed) window, update the peer so it can resume.
+  const std::size_t now_free = params_.recv_buf - rx_buf_.size();
+  if (last_adv_wnd_ < eff_mss_ &&
+      now_free >= std::max<std::size_t>(eff_mss_, params_.recv_buf / 4)) {
+    if (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+        state_ == TcpState::kFinWait2) {
+      send_ack_now();
+    }
+  }
+}
+
+// ------------------------------------------------------------ lifecycle
+
+void Connection::arm_keepalive() {
+  if (params_.keepalive_idle <= 0) return;
+  keepalive_unanswered_ = 0;
+  keepalive_timer_.start(params_.keepalive_idle, [this] { on_keepalive(); });
+}
+
+void Connection::on_keepalive() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  if (++keepalive_unanswered_ > params_.keepalive_probes) {
+    TFO_LOG(kDebug, "tcp") << key_.str() << " keepalive: peer unresponsive";
+    teardown(CloseReason::kTimeout);
+    return;
+  }
+  // Classic probe: a pure ACK with seq one below snd_nxt forces the peer
+  // to answer with its current ACK (a duplicate from its point of view).
+  TcpSegment seg;
+  seg.src_port = key_.local_port;
+  seg.dst_port = key_.remote_port;
+  seg.seq = seq_add(iss_, static_cast<std::int64_t>(snd_nxt_) - 1);
+  seg.flags = Flags::kAck;
+  seg.ack = seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_));
+  seg.window = static_cast<std::uint16_t>(
+      std::min<std::size_t>(params_.recv_buf - rx_buf_.size(), 65535));
+  emit(std::move(seg));
+  keepalive_timer_.start(params_.keepalive_interval, [this] { on_keepalive(); });
+}
+
+void Connection::enter_established() {
+  state_ = TcpState::kEstablished;
+  rto_timer_.stop();
+  arm_keepalive();
+  if (on_established) on_established();
+  if (close_requested_ && state_ == TcpState::kEstablished) {
+    close_requested_ = false;
+    close();
+    return;
+  }
+  try_send();
+}
+
+void Connection::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  rto_timer_.stop();
+  delack_timer_.stop();
+  persist_timer_.stop();
+  time_wait_timer_.start(2 * params_.msl, [this] { teardown(CloseReason::kGraceful); });
+}
+
+void Connection::teardown(CloseReason reason) {
+  if (state_ == TcpState::kClosed) return;
+  state_ = TcpState::kClosed;
+  rto_timer_.stop();
+  delack_timer_.stop();
+  persist_timer_.stop();
+  time_wait_timer_.stop();
+  keepalive_timer_.stop();
+  // Fail any writes still queued.
+  app_writes_.clear();
+  if (on_closed) on_closed(reason);
+  owner_.connection_closed(key_);
+}
+
+}  // namespace tfo::tcp

@@ -1,0 +1,233 @@
+// One TCP connection endpoint: the RFC 793 state machine with sliding-
+// window flow control, RFC 6298 retransmission, delayed ACKs, Nagle,
+// zero-window probing, slow start/AIMD congestion control, and the full
+// close handshake including TIME_WAIT.
+//
+// Applications drive a Connection through the Socket facade
+// (tcp/socket.hpp); the TcpLayer owns demux and segment I/O.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/seq32.hpp"
+#include "common/time.hpp"
+#include "sim/timer.hpp"
+#include "tcp/conn_key.hpp"
+#include "tcp/params.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::tcp {
+
+class TcpLayer;
+
+enum class TcpState {
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+  kClosed,
+};
+
+const char* state_name(TcpState s);
+
+/// Why a connection reached kClosed.
+enum class CloseReason {
+  kGraceful,       // both FINs exchanged and acknowledged
+  kReset,          // peer sent RST
+  kTimeout,        // retransmission limit exceeded
+  kRefused,        // connect() rejected (RST in SYN_SENT)
+  kAborted,        // local abort()
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// Created via TcpLayer::connect / listener accept path only.
+  Connection(TcpLayer& owner, ConnKey key, TcpParams params, bool failover_flagged);
+  ~Connection() = default;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // ------------------------------------------------------------ app API
+  /// Queues `data` for transmission. `on_accepted` fires when the last
+  /// byte has been handed to the stack's send buffer — the paper's §9
+  /// definition of send completion ("the send call returns when the
+  /// application has passed the last byte to the stack").
+  void send(Bytes data, std::function<void()> on_accepted = nullptr);
+
+  /// Moves up to `max` received bytes into `out`; returns the count.
+  std::size_t recv(Bytes& out, std::size_t max = SIZE_MAX);
+  std::size_t rx_available() const { return rx_buf_.size(); }
+
+  /// Graceful close of our sending direction (FIN after queued data).
+  void close();
+  /// Immediate teardown with RST.
+  void abort();
+
+  void set_nodelay(bool on) { nodelay_ = on; }
+
+  // ---------------------------------------------------------- callbacks
+  std::function<void()> on_established;
+  std::function<void()> on_readable;
+  /// Peer closed its sending direction (we saw its FIN).
+  std::function<void()> on_peer_fin;
+  std::function<void(CloseReason)> on_closed;
+
+  // ------------------------------------------------------------- state
+  TcpState state() const { return state_; }
+  const ConnKey& key() const { return key_; }
+  bool failover_flagged() const { return failover_flagged_; }
+  std::uint64_t bytes_sent_total() const { return bytes_sent_total_; }
+  std::uint64_t bytes_received_total() const { return bytes_received_total_; }
+  std::uint32_t effective_mss() const { return eff_mss_; }
+  std::size_t send_buffer_used() const { return send_buf_.size(); }
+  std::size_t send_queue_pending() const;
+
+  /// Introspection snapshot (diagnostics, tests, benches).
+  struct Info {
+    std::uint64_t timeouts = 0;          // RTO firings
+    std::uint64_t fast_retransmits = 0;  // 3-dupack recoveries
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_received = 0;
+    SimDuration srtt = 0;
+    SimDuration rto = 0;
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    std::uint32_t snd_wnd = 0;
+    std::uint64_t bytes_in_flight = 0;
+  };
+  Info info() const;
+
+  // --------------------------------------------- driven by the TcpLayer
+  void start_active_open();
+  void start_passive_open(const TcpSegment& syn);
+  void handle_segment(const TcpSegment& seg);
+  /// Rebinds the local IP (IP takeover rekey; see DESIGN.md §5.2).
+  void rebind_local_ip(ip::Ipv4 new_ip) { key_.local_ip = new_ip; }
+
+ private:
+  // Segment emission.
+  void emit(TcpSegment seg);
+  void send_syn(bool with_ack);
+  void send_ack_now();
+  void send_rst();
+  void schedule_ack();
+
+  // Output engine.
+  void try_send();
+  std::uint32_t in_flight() const { return static_cast<std::uint32_t>(snd_nxt_ - snd_una_); }
+  std::uint32_t usable_window() const;
+  void pump_app_writes();
+  bool fin_ready_at(std::uint64_t offset) const;
+
+  // Retransmission machinery.
+  void arm_rto();
+  void on_rto();
+  void retransmit_head();
+  void rtt_sample_maybe(std::uint64_t acked_to);
+
+  // Inbound processing helpers.
+  void process_ack(const TcpSegment& seg);
+  void process_data(const TcpSegment& seg);
+  void process_fin(const TcpSegment& seg);
+  void deliver_in_order();
+  void on_window_open();
+
+  // Lifecycle.
+  void enter_established();
+  void enter_time_wait();
+  void teardown(CloseReason reason);
+  void maybe_advance_close_states();
+
+  TcpLayer& owner_;
+  ConnKey key_;
+  TcpParams params_;
+  bool failover_flagged_;
+  bool nodelay_ = false;
+
+  TcpState state_ = TcpState::kClosed;
+
+  // --- send side (all offsets are 64-bit unwrapped stream positions;
+  // offset 0 == ISS, so SYN occupies [0,1) and data starts at 1).
+  Seq32 iss_ = 0;
+  std::uint64_t snd_una_ = 0;  // oldest unacknowledged offset
+  std::uint64_t snd_nxt_ = 0;  // next offset to send
+  std::uint64_t highest_sent_ = 0;  // high-water mark (survives RTO rewinds)
+  std::uint32_t snd_wnd_ = 0;  // peer's advertised window
+  std::uint64_t wl1_ = 0;      // seq offset of last window update
+  std::uint64_t wl2_ = 0;      // ack offset of last window update
+  Bytes send_buf_;             // send_buf_[0] is stream offset send_base_
+  std::uint64_t send_base_ = 1;
+  struct PendingWrite {
+    Bytes data;
+    std::size_t moved = 0;
+    std::function<void()> on_accepted;
+    SimTime enqueued_at = 0;  // when the app issued the send()
+  };
+  std::deque<PendingWrite> app_writes_;
+  bool fin_queued_ = false;
+  bool close_requested_ = false;  // close() arrived during the handshake
+  std::optional<std::uint64_t> fin_offset_;  // stream offset of our FIN
+  std::uint64_t bytes_sent_total_ = 0;
+
+  // --- receive side (offset 0 == IRS; data starts at 1).
+  Seq32 irs_ = 0;
+  std::uint64_t rcv_nxt_ = 0;
+  Bytes rx_buf_;
+  std::map<std::uint64_t, Bytes> ooo_;  // out-of-order runs by offset
+  std::optional<std::uint64_t> peer_fin_offset_;
+  bool peer_fin_delivered_ = false;
+  int segs_since_ack_ = 0;
+  int quickack_left_ = 0;  // initialized from params in the constructor
+  std::uint64_t bytes_received_total_ = 0;
+
+  // --- MSS / congestion.
+  std::uint32_t eff_mss_;
+  std::uint32_t cwnd_;
+  std::uint32_t ssthresh_ = 0x40000000;
+  int dupacks_ = 0;
+
+  // --- RTO (RFC 6298).
+  SimDuration srtt_ = 0;
+  SimDuration rttvar_ = 0;
+  SimDuration rto_;
+  bool rtt_valid_ = false;
+  bool rtt_measuring_ = false;
+  std::uint64_t rtt_offset_ = 0;
+  SimTime rtt_start_ = 0;
+  int retries_ = 0;
+
+  sim::Timer rto_timer_;
+  sim::Timer delack_timer_;
+  sim::Timer persist_timer_;
+  sim::Timer time_wait_timer_;
+  sim::Timer keepalive_timer_;
+  int keepalive_unanswered_ = 0;
+  SimDuration persist_backoff_ = 0;
+
+  // Keepalive helpers.
+  void arm_keepalive();
+  void on_keepalive();
+
+  std::uint16_t last_adv_wnd_ = 0;
+
+  // Diagnostics.
+  std::uint64_t stat_timeouts_ = 0;
+  std::uint64_t stat_fast_retransmits_ = 0;
+  std::uint64_t stat_segments_sent_ = 0;
+  std::uint64_t stat_segments_received_ = 0;
+
+  friend class TcpLayer;
+};
+
+}  // namespace tfo::tcp

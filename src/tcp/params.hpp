@@ -1,0 +1,68 @@
+// Tunable parameters of the TCP implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace tfo::tcp {
+
+struct TcpParams {
+  /// Maximum segment size we advertise and never exceed.
+  std::uint16_t mss = 1460;
+  /// Send/receive buffer capacities. The paper's 64 KByte send buffer is
+  /// what flattens Figure 3 below 32 KB messages.
+  std::size_t send_buf = 65536;
+  std::size_t recv_buf = 65536;
+
+  /// Nagle's algorithm default; per-socket TCP_NODELAY overrides.
+  bool nagle = true;
+
+  /// Cost of copying application data into the socket send buffer, in
+  /// nanoseconds per byte (the user→kernel copy of send()). 0 models an
+  /// infinitely fast copy; ~8 ns/B matches the paper's late-90s hosts and
+  /// produces Figure 3's sub-buffer slope.
+  std::int64_t send_copy_ns_per_byte = 0;
+
+  /// Delayed-ACK interval and the every-Nth-segment immediate-ACK rule.
+  SimDuration delayed_ack = milliseconds(100);
+  int ack_every_segments = 2;
+  /// Immediate ACKs for the first N data segments of a connection
+  /// (Linux-style initial quickack), so the peer's slow start is not
+  /// stalled by delayed-ACK parity.
+  int quickack_segments = 8;
+
+  /// Retransmission timeout bounds (RFC 6298 computation in between).
+  SimDuration min_rto = milliseconds(200);
+  SimDuration max_rto = seconds(60);
+  SimDuration initial_rto = seconds(1);
+
+  /// Persist (zero-window probe) timer.
+  SimDuration persist_interval = milliseconds(500);
+  SimDuration persist_max = seconds(60);
+
+  /// Maximum segment lifetime; TIME_WAIT holds for 2*MSL. Kept short by
+  /// default so experiments with thousands of connections stay fast.
+  SimDuration msl = milliseconds(500);
+
+  /// Congestion control (slow start + AIMD). Disable for an unlimited
+  /// window (useful in controlled unit tests).
+  bool congestion_control = true;
+  std::uint32_t initial_cwnd_segments = 2;
+  int dupack_threshold = 3;
+
+  /// SYN retransmission limit before giving up on connect.
+  int max_syn_retries = 5;
+  /// Data retransmission limit before aborting the connection.
+  int max_retries = 12;
+
+  /// TCP keepalive: after `keepalive_idle` of silence on an established
+  /// connection, send probes every `keepalive_interval`; abort after
+  /// `keepalive_probes` unanswered probes. 0 idle disables (the default,
+  /// like real stacks without SO_KEEPALIVE).
+  SimDuration keepalive_idle = 0;
+  SimDuration keepalive_interval = seconds(5);
+  int keepalive_probes = 3;
+};
+
+}  // namespace tfo::tcp

@@ -1,0 +1,144 @@
+#include "tcp/segment.hpp"
+
+#include <sstream>
+
+#include "common/checksum.hpp"
+
+namespace tfo::tcp {
+
+namespace {
+
+constexpr std::uint8_t kOptEnd = 0;
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptOrigDst = 253;  // experimental (RFC 4727 range)
+
+Bytes pseudo_header(ip::Ipv4 src, ip::Ipv4 dst, std::size_t tcp_len) {
+  Bytes ph;
+  ph.reserve(12);
+  put_u32(ph, src.v);
+  put_u32(ph, dst.v);
+  put_u8(ph, 0);
+  put_u8(ph, 6);  // protocol: TCP
+  put_u16(ph, static_cast<std::uint16_t>(tcp_len));
+  return ph;
+}
+
+}  // namespace
+
+std::size_t TcpSegment::header_bytes() const {
+  std::size_t opts = 0;
+  if (mss) opts += 4;
+  if (orig_dst) opts += 6;
+  // Pad options to a 32-bit boundary.
+  opts = (opts + 3) & ~std::size_t{3};
+  return 20 + opts;
+}
+
+Bytes TcpSegment::serialize(ip::Ipv4 src_ip, ip::Ipv4 dst_ip) const {
+  Bytes out;
+  const std::size_t hdr = header_bytes();
+  out.reserve(hdr + payload.size());
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u32(out, seq);
+  put_u32(out, ack);
+  put_u8(out, static_cast<std::uint8_t>((hdr / 4) << 4));  // data offset
+  put_u8(out, flags);
+  put_u16(out, window);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, 0);  // urgent pointer (unused)
+  if (mss) {
+    put_u8(out, kOptMss);
+    put_u8(out, 4);
+    put_u16(out, *mss);
+  }
+  if (orig_dst) {
+    put_u8(out, kOptOrigDst);
+    put_u8(out, 6);
+    put_u32(out, orig_dst->v);
+  }
+  while (out.size() < hdr) put_u8(out, kOptEnd);
+  append(out, payload);
+
+  const std::uint32_t ph_sum =
+      ones_complement_sum(pseudo_header(src_ip, dst_ip, out.size()));
+  const std::uint16_t ck = static_cast<std::uint16_t>(
+      ~ones_complement_sum(out, ph_sum) & 0xffff);
+  set_u16(out, kChecksumOffset, ck);
+  return out;
+}
+
+std::optional<TcpSegment> TcpSegment::parse(BytesView wire, ip::Ipv4 src_ip,
+                                            ip::Ipv4 dst_ip) {
+  if (wire.size() < 20) return std::nullopt;
+  const std::size_t hdr = static_cast<std::size_t>(wire[12] >> 4) * 4;
+  if (hdr < 20 || hdr > wire.size()) return std::nullopt;
+
+  // Verify checksum: one's-complement sum over pseudo-header + segment
+  // must fold to 0xffff (i.e. inet checksum over both is 0).
+  const std::uint32_t ph_sum =
+      ones_complement_sum(pseudo_header(src_ip, dst_ip, wire.size()));
+  if (static_cast<std::uint16_t>(~ones_complement_sum(wire, ph_sum) & 0xffff) != 0) {
+    return std::nullopt;
+  }
+
+  TcpSegment seg;
+  seg.src_port = get_u16(wire, 0);
+  seg.dst_port = get_u16(wire, 2);
+  seg.seq = get_u32(wire, 4);
+  seg.ack = get_u32(wire, 8);
+  seg.flags = wire[13];
+  seg.window = get_u16(wire, 14);
+
+  std::size_t off = 20;
+  while (off < hdr) {
+    const std::uint8_t kind = wire[off];
+    if (kind == kOptEnd) break;
+    if (kind == kOptNop) {
+      ++off;
+      continue;
+    }
+    if (off + 1 >= hdr) return std::nullopt;
+    const std::uint8_t len = wire[off + 1];
+    if (len < 2 || off + len > hdr) return std::nullopt;
+    switch (kind) {
+      case kOptMss:
+        if (len != 4) return std::nullopt;
+        seg.mss = get_u16(wire, off + 2);
+        break;
+      case kOptOrigDst:
+        if (len != 6) return std::nullopt;
+        seg.orig_dst = ip::Ipv4{get_u32(wire, off + 2)};
+        break;
+      default:
+        break;  // unknown options are skipped
+    }
+    off += len;
+  }
+  seg.payload.assign(wire.begin() + hdr, wire.end());
+  return seg;
+}
+
+std::string TcpSegment::summary() const {
+  std::ostringstream os;
+  if (syn()) os << "SYN ";
+  if (fin()) os << "FIN ";
+  if (rst()) os << "RST ";
+  os << "seq=" << seq;
+  if (has_ack()) os << " ack=" << ack;
+  os << " win=" << window << " len=" << payload.size();
+  if (mss) os << " mss=" << *mss;
+  if (orig_dst) os << " odst=" << orig_dst->str();
+  return os.str();
+}
+
+void patch_checksum_for_address_change(Bytes& tcp_wire, ip::Ipv4 old_addr,
+                                       ip::Ipv4 new_addr) {
+  if (tcp_wire.size() < 20) return;
+  const std::uint16_t old_ck = get_u16(tcp_wire, TcpSegment::kChecksumOffset);
+  const std::uint16_t new_ck = checksum_update32(old_ck, old_addr.v, new_addr.v);
+  set_u16(tcp_wire, TcpSegment::kChecksumOffset, new_ck);
+}
+
+}  // namespace tfo::tcp

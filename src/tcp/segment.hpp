@@ -1,0 +1,78 @@
+// TCP segment wire format (RFC 793), including the options this system
+// needs: Maximum Segment Size (RFC 879) and the failover bridge's
+// "original destination" option — the paper's §3.1 mechanism by which the
+// secondary marks diverted segments with the address of the client they
+// were really meant for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/seq32.hpp"
+#include "ip/addr.hpp"
+
+namespace tfo::tcp {
+
+struct Flags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Seq32 seq = 0;
+  Seq32 ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  /// MSS option; present on SYN segments.
+  std::optional<std::uint16_t> mss;
+  /// Original-destination option (experimental kind 253): carried on
+  /// segments the secondary bridge diverts to the primary so the primary
+  /// bridge can recover the client address (§3.1).
+  std::optional<ip::Ipv4> orig_dst;
+  Bytes payload;
+
+  bool syn() const { return flags & Flags::kSyn; }
+  bool fin() const { return flags & Flags::kFin; }
+  bool rst() const { return flags & Flags::kRst; }
+  bool has_ack() const { return flags & Flags::kAck; }
+  bool psh() const { return flags & Flags::kPsh; }
+
+  /// Sequence space the segment occupies (payload + SYN + FIN).
+  std::uint32_t seg_len() const {
+    return static_cast<std::uint32_t>(payload.size()) + (syn() ? 1 : 0) +
+           (fin() ? 1 : 0);
+  }
+
+  std::size_t header_bytes() const;
+
+  /// Serializes with a valid checksum over the RFC 793 pseudo-header for
+  /// the given IP endpoints.
+  Bytes serialize(ip::Ipv4 src_ip, ip::Ipv4 dst_ip) const;
+
+  /// Parses and verifies the checksum against the pseudo-header. Returns
+  /// nullopt on malformed input or checksum mismatch.
+  static std::optional<TcpSegment> parse(BytesView wire, ip::Ipv4 src_ip,
+                                         ip::Ipv4 dst_ip);
+
+  /// Byte offset of the 16-bit checksum field within a serialized segment
+  /// (for in-place incremental fix-up after address rewrites).
+  static constexpr std::size_t kChecksumOffset = 16;
+
+  /// Human-readable one-liner for logs ("SYN seq=.. ack=.. len=..").
+  std::string summary() const;
+};
+
+/// Patches the TCP checksum inside a serialized segment after one of the
+/// pseudo-header IP addresses changed — the paper's incremental checksum
+/// fix ("subtract the original bytes ... add the new bytes", §3.1).
+void patch_checksum_for_address_change(Bytes& tcp_wire, ip::Ipv4 old_addr,
+                                       ip::Ipv4 new_addr);
+
+}  // namespace tfo::tcp

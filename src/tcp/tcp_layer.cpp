@@ -1,0 +1,206 @@
+#include "tcp/tcp_layer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace tfo::tcp {
+
+TcpLayer::TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params,
+                   std::uint64_t seed)
+    : sim_(sim), ip_(ip), params_(params), rng_(seed) {
+  ip_.register_protocol(ip::Proto::kTcp,
+                        [this](const ip::IpDatagram& d, const ip::RxMeta& m) {
+                          on_datagram(d, m);
+                        });
+}
+
+Seq32 TcpLayer::generate_isn() {
+  if (forced_isn_) {
+    const Seq32 isn = *forced_isn_;
+    forced_isn_.reset();
+    return isn;
+  }
+  return rng_.next_u32();
+}
+
+std::uint16_t TcpLayer::allocate_ephemeral_port() {
+  // Deterministic allocation: replicated applications performing the same
+  // active opens in the same order get the same ports on both replicas
+  // (required for §7.2 server-initiated failover connections).
+  for (int i = 0; i < 16384; ++i) {
+    const std::uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
+    bool in_use = listeners_.contains(port);
+    for (const auto& [key, conn] : conns_) {
+      if (key.local_port == port) {
+        in_use = true;
+        break;
+      }
+    }
+    if (!in_use) return port;
+  }
+  TFO_ASSERT(false, "ephemeral port space exhausted");
+  return 0;
+}
+
+void TcpLayer::listen(std::uint16_t port, AcceptHandler on_accept, SocketOptions opts) {
+  listeners_[port] = Listener{std::move(on_accept), opts};
+}
+
+void TcpLayer::close_listener(std::uint16_t port) { listeners_.erase(port); }
+
+bool TcpLayer::listener_is_failover(std::uint16_t port) const {
+  auto it = listeners_.find(port);
+  return it != listeners_.end() && it->second.opts.failover;
+}
+
+std::shared_ptr<Connection> TcpLayer::connect(ip::Ipv4 remote_ip,
+                                              std::uint16_t remote_port,
+                                              SocketOptions opts,
+                                              std::uint16_t local_port) {
+  ConnKey key;
+  key.local_ip = ip_.address();
+  key.local_port = local_port != 0 ? local_port : allocate_ephemeral_port();
+  key.remote_ip = remote_ip;
+  key.remote_port = remote_port;
+  auto conn = std::make_shared<Connection>(*this, key, params_, opts.failover);
+  if (opts.nodelay) conn->set_nodelay(true);
+  conns_[key] = conn;
+  conn->start_active_open();
+  return conn;
+}
+
+std::shared_ptr<Connection> TcpLayer::find(const ConnKey& key) const {
+  auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+TapId TcpLayer::add_outbound_tap(OutboundTap tap) {
+  const TapId id = next_tap_id_++;
+  out_taps_.emplace_back(id, std::move(tap));
+  return id;
+}
+
+TapId TcpLayer::add_inbound_tap(InboundTap tap) {
+  const TapId id = next_tap_id_++;
+  in_taps_.emplace_back(id, std::move(tap));
+  return id;
+}
+
+void TcpLayer::remove_tap(TapId id) {
+  auto drop = [id](auto& vec) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [id](const auto& p) { return p.first == id; }),
+              vec.end());
+  };
+  drop(out_taps_);
+  drop(in_taps_);
+}
+
+void TcpLayer::send_segment(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  for (auto& [id, tap] : out_taps_) {
+    switch (tap(seg, src, dst)) {
+      case TapVerdict::kContinue: break;
+      case TapVerdict::kConsume: return;
+      case TapVerdict::kDrop: return;
+    }
+  }
+  send_segment_raw(seg, src, dst);
+}
+
+void TcpLayer::send_segment_raw(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  ip_.send(ip::Proto::kTcp, src, dst, seg.serialize(src, dst));
+}
+
+void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
+                                   const std::function<bool(const Connection&)>& filter) {
+  std::vector<std::shared_ptr<Connection>> moved;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->first.local_ip == from && (!filter || filter(*it->second))) {
+      moved.push_back(it->second);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& conn : moved) {
+    conn->rebind_local_ip(to);
+    conns_[conn->key()] = std::move(conn);
+  }
+}
+
+void TcpLayer::connection_closed(const ConnKey& key) {
+  // Deferred: the connection may be deep in its own call stack.
+  sim_.schedule_after(0, [this, key] { conns_.erase(key); });
+}
+
+void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) {
+  auto parsed = TcpSegment::parse(dgram.payload, dgram.src, dgram.dst);
+  if (!parsed) {
+    TFO_LOG(kDebug, "tcp") << "segment dropped (bad checksum or malformed)";
+    return;
+  }
+  TcpSegment seg = std::move(*parsed);
+  ip::Ipv4 src = dgram.src;
+  ip::Ipv4 dst = dgram.dst;
+
+  for (auto& [id, tap] : in_taps_) {
+    switch (tap(seg, src, dst, meta)) {
+      case TapVerdict::kContinue: break;
+      case TapVerdict::kConsume: return;
+      case TapVerdict::kDrop: return;
+    }
+  }
+
+  ConnKey key{dst, seg.dst_port, src, seg.src_port};
+  if (auto it = conns_.find(key); it != conns_.end()) {
+    it->second->handle_segment(seg);
+    return;
+  }
+  if (seg.syn() && !seg.has_ack()) {
+    handle_for_listener(seg, src, dst);
+    return;
+  }
+  if (!seg.rst()) send_rst_for(seg, src, dst);
+}
+
+void TcpLayer::handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  auto it = listeners_.find(seg.dst_port);
+  if (it == listeners_.end()) {
+    send_rst_for(seg, src, dst);
+    return;
+  }
+  ConnKey key{dst, seg.dst_port, src, seg.src_port};
+  auto conn = std::make_shared<Connection>(*this, key, params_, it->second.opts.failover);
+  if (it->second.opts.nodelay) conn->set_nodelay(true);
+  conns_[key] = conn;
+  // Surface the connection to the application when it completes the
+  // handshake (BSD semantics: accept returns an ESTABLISHED socket).
+  conn->on_established = [conn_weak = std::weak_ptr<Connection>(conn),
+                          cb = it->second.on_accept] {
+    if (auto c = conn_weak.lock()) {
+      if (cb) cb(c);
+    }
+  };
+  conn->start_passive_open(seg);
+}
+
+void TcpLayer::send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  TcpSegment rst;
+  rst.src_port = seg.dst_port;
+  rst.dst_port = seg.src_port;
+  rst.flags = Flags::kRst;
+  if (seg.has_ack()) {
+    rst.seq = seg.ack;
+  } else {
+    rst.flags |= Flags::kAck;
+    rst.seq = 0;
+    rst.ack = seq_add(seg.seq, seg.seg_len());
+  }
+  TFO_LOG(kDebug, "tcp") << "RST for stray segment " << seg.summary();
+  send_segment(std::move(rst), dst, src);
+}
+
+}  // namespace tfo::tcp

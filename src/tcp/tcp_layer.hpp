@@ -1,0 +1,129 @@
+// The per-host TCP layer: connection demux, listeners, ISN/ephemeral-port
+// generation, RST handling — and the segment *taps* at the TCP/IP boundary
+// where the failover bridges attach (the paper's bridge sublayer sits
+// "between the TCP layer and the IP layer", §1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ip/ip_layer.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/conn_key.hpp"
+#include "tcp/params.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::tcp {
+
+enum class TapVerdict { kContinue, kConsume, kDrop };
+
+/// Outbound tap: sees every segment this host's TCP layer is about to
+/// hand to IP, with mutable addresses. Runs before serialization, so any
+/// mutation is checksummed correctly on the wire.
+using OutboundTap = std::function<TapVerdict(TcpSegment&, ip::Ipv4& src, ip::Ipv4& dst)>;
+
+/// Inbound tap: sees every TCP segment after parse/checksum-verify and
+/// before connection demux.
+using InboundTap =
+    std::function<TapVerdict(TcpSegment&, ip::Ipv4& src, ip::Ipv4& dst, const ip::RxMeta&)>;
+
+using TapId = std::uint64_t;
+
+/// Options applied to sockets created by connect()/listen().
+struct SocketOptions {
+  bool nodelay = false;
+  /// The paper's §7 method 1: mark this socket's connection as a TCP
+  /// failover connection.
+  bool failover = false;
+};
+
+class TcpLayer {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<Connection>)>;
+
+  TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params = {},
+           std::uint64_t seed = 1);
+
+  sim::Simulator& simulator() { return sim_; }
+  ip::IpLayer& ip() { return ip_; }
+  const TcpParams& params() const { return params_; }
+  TcpParams& mutable_params() { return params_; }
+
+  /// Starts listening on `port`; `on_accept` fires once per connection
+  /// when it reaches ESTABLISHED.
+  void listen(std::uint16_t port, AcceptHandler on_accept, SocketOptions opts = {});
+  void close_listener(std::uint16_t port);
+  /// True if a listener exists on `port` with the failover socket option
+  /// set (§7 method 1; the secondary bridge consults this to classify
+  /// snooped SYNs).
+  bool listener_is_failover(std::uint16_t port) const;
+
+  /// Active open to `remote`. The returned connection is in SYN_SENT;
+  /// observe on_established / on_closed.
+  std::shared_ptr<Connection> connect(ip::Ipv4 remote_ip, std::uint16_t remote_port,
+                                      SocketOptions opts = {},
+                                      std::uint16_t local_port = 0);
+
+  std::shared_ptr<Connection> find(const ConnKey& key) const;
+  std::size_t connection_count() const { return conns_.size(); }
+
+  /// Iterates over all live connections (diagnostics; bridge attachment
+  /// to a host with pre-existing connections).
+  void for_each_connection(const std::function<void(const Connection&)>& fn) const {
+    for (const auto& [key, conn] : conns_) fn(*conn);
+  }
+
+  TapId add_outbound_tap(OutboundTap tap);
+  TapId add_inbound_tap(InboundTap tap);
+  void remove_tap(TapId id);
+
+  /// Emission path used by connections; runs outbound taps then IP send.
+  void send_segment(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst);
+
+  /// Emission bypassing taps (bridge re-emission of merged segments).
+  void send_segment_raw(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
+
+  /// Rebinds every connection whose local address is `from` — and for
+  /// which `filter` returns true — to `to`, rekeying the demux table
+  /// (IP takeover support, DESIGN.md §5.2). A null filter matches all.
+  void rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
+                           const std::function<bool(const Connection&)>& filter = {});
+
+  /// Test hook: force the ISN of the next connection created.
+  void set_next_isn(Seq32 isn) { forced_isn_ = isn; }
+
+  Seq32 generate_isn();
+  std::uint16_t allocate_ephemeral_port();
+
+  // Internal (Connection support).
+  void connection_closed(const ConnKey& key);
+
+ private:
+  struct Listener {
+    AcceptHandler on_accept;
+    SocketOptions opts;
+  };
+
+  void on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta);
+  void handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
+  void send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
+
+  sim::Simulator& sim_;
+  ip::IpLayer& ip_;
+  TcpParams params_;
+  Rng rng_;
+  std::unordered_map<ConnKey, std::shared_ptr<Connection>> conns_;
+  std::unordered_map<std::uint16_t, Listener> listeners_;
+  std::vector<std::pair<TapId, OutboundTap>> out_taps_;
+  std::vector<std::pair<TapId, InboundTap>> in_taps_;
+  TapId next_tap_id_ = 1;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::optional<Seq32> forced_isn_;
+};
+
+}  // namespace tfo::tcp

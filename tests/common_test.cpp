@@ -1,0 +1,179 @@
+// Unit tests for src/common: sequence arithmetic, checksums (including the
+// paper's incremental update), stats, and byte helpers.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+#include "common/seq32.hpp"
+#include "common/stats.hpp"
+
+namespace tfo {
+namespace {
+
+// ---------------------------------------------------------------- seq32
+
+TEST(Seq32, BasicOrdering) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_TRUE(seq_le(2, 2));
+  EXPECT_TRUE(seq_gt(3, 2));
+  EXPECT_FALSE(seq_lt(2, 2));
+}
+
+TEST(Seq32, WrapAroundOrdering) {
+  // 0xfffffff0 is "before" 0x10 on the circle.
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x10u));
+  EXPECT_TRUE(seq_gt(0x10u, 0xfffffff0u));
+  EXPECT_EQ(seq_diff(0x10u, 0xfffffff0u), 0x20);
+}
+
+TEST(Seq32, AddWraps) {
+  EXPECT_EQ(seq_add(0xffffffffu, 1), 0u);
+  EXPECT_EQ(seq_add(0xfffffff0u, 0x20), 0x10u);
+  EXPECT_EQ(seq_add(5u, -10), 0xfffffffbu);
+}
+
+TEST(Seq32, MinMax) {
+  EXPECT_EQ(seq_max(0xfffffff0u, 0x10u), 0x10u);
+  EXPECT_EQ(seq_min(0xfffffff0u, 0x10u), 0xfffffff0u);
+}
+
+TEST(SeqUnwrapper, MonotoneAcrossWrap) {
+  SeqUnwrapper u(0xffffff00u);
+  EXPECT_EQ(u.unwrap_advance(0xffffff00u), 0u);
+  EXPECT_EQ(u.unwrap_advance(0xffffffffu), 0xffu);
+  EXPECT_EQ(u.unwrap_advance(0x00000010u), 0x110u);
+  // Older value still maps below.
+  EXPECT_EQ(u.unwrap(0xfffffff0u), 0xf0u);
+  EXPECT_EQ(u.wrap(0x110u), 0x00000010u);
+}
+
+TEST(SeqUnwrapper, LongStream) {
+  SeqUnwrapper u(0);
+  std::uint64_t off = 0;
+  Seq32 s = 0;
+  for (int i = 0; i < 1000; ++i) {
+    off += 0x10000000ull;  // quarter of the space per step, wraps many times
+    s = seq_add(s, 0x10000000);
+    EXPECT_EQ(u.unwrap_advance(s), off);
+  }
+}
+
+// ------------------------------------------------------------- checksum
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, ck ~0x220d.
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ones_complement_sum(data), 0xddf2);
+  EXPECT_EQ(inet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLength) {
+  Bytes data = {0x01, 0x02, 0x03};
+  // Padded: 0x0102 + 0x0300 = 0x0402.
+  EXPECT_EQ(ones_complement_sum(data), 0x0402);
+}
+
+TEST(Checksum, VerifyRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Even lengths only: a checksum field must sit on a 16-bit boundary,
+    // as it does in every real header.
+    Bytes data(2 * rng.uniform(1, 100));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    // Append the checksum; total must verify to zero.
+    const std::uint16_t ck = inet_checksum(data);
+    Bytes with_ck = data;
+    put_u16(with_ck, ck);
+    EXPECT_EQ(inet_checksum(with_ck), 0) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, IncrementalUpdate16MatchesRecompute) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data(64);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    const std::uint16_t old_ck = inet_checksum(data);
+    const std::size_t word = 2 * rng.uniform(0, 31);
+    const std::uint16_t old_w = get_u16(data, word);
+    const std::uint16_t new_w = static_cast<std::uint16_t>(rng.next_u32());
+    set_u16(data, word, new_w);
+    EXPECT_EQ(checksum_update16(old_ck, old_w, new_w), inet_checksum(data))
+        << "trial " << trial;
+  }
+}
+
+TEST(Checksum, IncrementalUpdate32MatchesRecompute) {
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data(64);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    const std::uint16_t old_ck = inet_checksum(data);
+    const std::size_t off = 4 * rng.uniform(0, 15);
+    const std::uint32_t old_v = get_u32(data, off);
+    const std::uint32_t new_v = rng.next_u32();
+    set_u32(data, off, new_v);
+    EXPECT_EQ(checksum_update32(old_ck, old_v, new_v), inet_checksum(data))
+        << "trial " << trial;
+  }
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Sampler, MedianMaxPercentile) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Sampler, AddAfterReadResorts) {
+  Sampler s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx | 1           |"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- bytes
+
+TEST(Bytes, BigEndianRoundTrip) {
+  Bytes b;
+  put_u16(b, 0x1234);
+  put_u32(b, 0xdeadbeef);
+  EXPECT_EQ(get_u16(b, 0), 0x1234);
+  EXPECT_EQ(get_u32(b, 2), 0xdeadbeefu);
+  set_u32(b, 2, 0x01020304);
+  EXPECT_EQ(get_u32(b, 2), 0x01020304u);
+}
+
+TEST(Bytes, StringConversions) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+}  // namespace
+}  // namespace tfo

@@ -1,0 +1,253 @@
+// §8 connection-termination corner cases at system level: stray FIN
+// retransmissions after the bridge deleted its per-connection state,
+// tombstone lifecycle, closes racing failovers — plus end-to-end replica
+// divergence detection with genuinely non-deterministic applications.
+#include <gtest/gtest.h>
+
+#include "apps/trace.hpp"
+#include "failover_fixture.hpp"
+#include "tcp/segment.hpp"
+
+namespace tfo::core {
+namespace {
+
+using test::kEchoPort;
+using test::make_replicated_lan;
+using test::run_until;
+
+/// Runs a complete echo session through close, so the bridge tombstones
+/// the connection. Returns the connection key (client view).
+tcp::ConnKey run_full_session(test::ReplicatedLan& r) {
+  test::EchoDriver d(r.client(), r.primary().address(), kEchoPort, 2000, 500);
+  EXPECT_TRUE(run_until(r.sim(), [&] { return d.done(); }, seconds(60)));
+  const tcp::ConnKey key{r.primary().address(), kEchoPort, r.client().address(),
+                         d.connection().key().local_port};
+  d.connection().close();
+  EXPECT_TRUE(run_until(r.sim(), [&] {
+    return d.connection().state() == tcp::TcpState::kClosed &&
+           r.group->primary_bridge().connection_count() == 0;
+  }, seconds(60)));
+  return key;
+}
+
+TEST(Teardown, BridgeTombstonesAfterFullClose) {
+  auto r = make_replicated_lan();
+  run_full_session(*r);
+  EXPECT_EQ(r->group->primary_bridge().connection_count(), 0u);
+  EXPECT_GE(r->group->primary_bridge().tombstone_count(), 1u);
+}
+
+TEST(Teardown, TombstoneExpiresEventually) {
+  auto r = make_replicated_lan();
+  run_full_session(*r);
+  ASSERT_GE(r->group->primary_bridge().tombstone_count(), 1u);
+  // Tombstones live 4*MSL (2s at the default 500ms MSL).
+  r->sim().run_for(seconds(10));
+  EXPECT_EQ(r->group->primary_bridge().tombstone_count(), 0u);
+}
+
+TEST(Teardown, StrayClientFinIsAckedNotReset) {
+  // §8: "When the primary server bridge receives a FIN sent by the client
+  // C after it removed all internal data structures associated with the
+  // connection, it creates an ACK and sends the ACK back to C."
+  auto r = make_replicated_lan();
+  const tcp::ConnKey key = run_full_session(*r);
+
+  apps::FrameTracer at_client(r->sim(), r->client().nic());
+  // Craft the client's FIN retransmission (its LAST segment, re-sent as
+  // if the final ACK had been lost). Sequence numbers need not be exact:
+  // the bridge answers from the segment itself.
+  tcp::TcpSegment fin;
+  fin.src_port = key.remote_port;  // the client's port
+  fin.dst_port = key.local_port;
+  fin.seq = 123456;
+  fin.ack = 654321;
+  fin.flags = tcp::Flags::kFin | tcp::Flags::kAck;
+  fin.window = 65535;
+  r->client().ip().send(ip::Proto::kTcp, r->client().address(),
+                        r->primary().address(),
+                        fin.serialize(r->client().address(), r->primary().address()));
+  r->sim().run_for(milliseconds(50));
+
+  // The client got a pure ACK covering the FIN, and no RST.
+  EXPECT_GE(at_client.count([&](const apps::TraceRecord& rec) {
+    return rec.has_tcp && rec.src_ip == r->primary().address() &&
+           (rec.flags & tcp::Flags::kAck) && !(rec.flags & tcp::Flags::kRst) &&
+           rec.ack == seq_add(123456, 1);
+  }), 1u);
+  EXPECT_EQ(at_client.count([](const apps::TraceRecord& rec) {
+    return rec.has_tcp && (rec.flags & tcp::Flags::kRst);
+  }), 0u);
+  EXPECT_GE(r->group->primary_bridge().stray_fin_acks(), 1u);
+}
+
+TEST(Teardown, StraySecondaryFinIsAckedBackToSecondary) {
+  // §8, other direction: the secondary's TCP retransmits its FIN after
+  // the bridge tore down; the bridge manufactures the client's ACK.
+  auto r = make_replicated_lan();
+  const tcp::ConnKey key = run_full_session(*r);
+
+  apps::FrameTracer at_secondary(r->sim(), r->secondary().nic());
+  tcp::TcpSegment fin;
+  fin.src_port = key.local_port;   // server port
+  fin.dst_port = key.remote_port;  // client port
+  fin.seq = 99999;
+  fin.ack = 11111;
+  fin.flags = tcp::Flags::kFin | tcp::Flags::kAck;
+  fin.orig_dst = key.remote_ip;  // diverted-segment marking
+  r->secondary().ip().send(
+      ip::Proto::kTcp, r->secondary().address(), r->primary().address(),
+      fin.serialize(r->secondary().address(), r->primary().address()));
+  r->sim().run_for(milliseconds(50));
+
+  // The secondary received an ACK that *appears to come from the client*.
+  EXPECT_GE(at_secondary.count([&](const apps::TraceRecord& rec) {
+    return rec.has_tcp && rec.src_ip == key.remote_ip &&
+           rec.dst_ip == r->secondary().address() &&
+           (rec.flags & tcp::Flags::kAck) && rec.ack == seq_add(99999, 1);
+  }), 1u);
+}
+
+TEST(Teardown, CloseRacingPrimaryCrashStillCompletes) {
+  auto r = make_replicated_lan();
+  test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 4000, 1000);
+  ASSERT_TRUE(run_until(r->sim(), [&] { return d.done(); }, seconds(60)));
+  // Close and crash at the same instant: the FIN handshake must finish
+  // against the surviving replica.
+  d.connection().close();
+  r->group->crash_primary();
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return d.connection().state() == tcp::TcpState::kClosed;
+  }, seconds(120)));
+  EXPECT_EQ(d.close_reason(), tcp::CloseReason::kGraceful);
+}
+
+TEST(Teardown, CloseRacingSecondaryCrashStillCompletes) {
+  auto r = make_replicated_lan();
+  test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 4000, 1000);
+  ASSERT_TRUE(run_until(r->sim(), [&] { return d.done(); }, seconds(60)));
+  d.connection().close();
+  r->group->crash_secondary();
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return d.connection().state() == tcp::TcpState::kClosed;
+  }, seconds(120)));
+  EXPECT_EQ(d.close_reason(), tcp::CloseReason::kGraceful);
+}
+
+TEST(Teardown, ManySequentialSessionsLeaveNoResidue) {
+  auto r = make_replicated_lan();
+  for (int i = 0; i < 10; ++i) {
+    test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 1000, 500);
+    ASSERT_TRUE(run_until(r->sim(), [&] { return d.done(); }, seconds(60))) << i;
+    d.connection().close();
+    ASSERT_TRUE(run_until(r->sim(), [&] {
+      return d.connection().state() == tcp::TcpState::kClosed;
+    }, seconds(60))) << i;
+  }
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return r->group->primary_bridge().connection_count() == 0;
+  }, seconds(30)));
+  // All server-side TCP state eventually drains (TIME_WAIT etc.).
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return r->primary().tcp().connection_count() == 0 &&
+           r->secondary().tcp().connection_count() == 0;
+  }, seconds(60)));
+}
+
+// ------------------------------------------------------------ divergence
+
+/// A deliberately NON-deterministic server: replies include a per-host
+/// tag, so the replicas' streams differ — the failure mode the paper
+/// excludes by assumption and this implementation detects.
+class TaggedEchoServer {
+ public:
+  TaggedEchoServer(tcp::TcpLayer& tcp, std::uint16_t port, std::string tag)
+      : tag_(std::move(tag)) {
+    tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) {
+      auto* raw = c.get();
+      conns_[raw] = c;
+      raw->on_readable = [this, raw] {
+        Bytes data;
+        raw->recv(data);
+        Bytes reply = to_bytes(tag_);
+        append(reply, data);
+        raw->send(std::move(reply));
+      };
+      raw->on_closed = [this, raw](tcp::CloseReason) { conns_.erase(raw); };
+    });
+  }
+
+ private:
+  std::string tag_;
+  std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> conns_;
+};
+
+TEST(Divergence, NonDeterministicRepliesAreDetectedAndReset) {
+  auto r = make_replicated_lan({}, {}, /*with_echo=*/false);
+  TaggedEchoServer bad_p(r->primary().tcp(), kEchoPort, "P!");
+  TaggedEchoServer bad_s(r->secondary().tcp(), kEchoPort, "S!");
+
+  auto conn = r->client().tcp().connect(r->primary().address(), kEchoPort,
+                                        {.nodelay = true});
+  bool reset = false;
+  conn->on_closed = [&](tcp::CloseReason reason) {
+    reset = (reason == tcp::CloseReason::kReset);
+  };
+  conn->on_established = [&] { conn->send(to_bytes("which replica am I?")); };
+  ASSERT_TRUE(run_until(r->sim(), [&] { return reset; }, seconds(60)));
+  EXPECT_EQ(r->group->primary_bridge().divergences(), 1u);
+  // The client was reset — *never* given a corrupted byte stream.
+  EXPECT_EQ(conn->bytes_received_total(), 0u);
+}
+
+TEST(Divergence, DifferentReplyLengthsDetectedAtFinMismatch) {
+  // Identical prefix, one replica appends a tail, both close after the
+  // reply. Byte comparison alone cannot flag a pure length difference —
+  // the divergent tail simply never matches — but the replicas' FIN
+  // positions disagree, and that is detected.
+  auto r = make_replicated_lan({}, {}, /*with_echo=*/false);
+  class OneShotServer {
+   public:
+    OneShotServer(tcp::TcpLayer& tcp, std::uint16_t port, std::string suffix)
+        : suffix_(std::move(suffix)) {
+      tcp.listen(port, [this](std::shared_ptr<tcp::Connection> c) {
+        auto* raw = c.get();
+        conns_[raw] = c;
+        raw->on_readable = [this, raw] {
+          Bytes data;
+          raw->recv(data);
+          append(data, to_bytes(suffix_));
+          raw->send(std::move(data));
+          raw->close();  // reply length differences surface as FIN offsets
+        };
+        raw->on_closed = [this, raw](tcp::CloseReason) { conns_.erase(raw); };
+      });
+    }
+   private:
+    std::string suffix_;
+    std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> conns_;
+  };
+  OneShotServer bad_p(r->primary().tcp(), kEchoPort, "");
+  OneShotServer bad_s(r->secondary().tcp(), kEchoPort, "-tail");
+
+  auto conn = r->client().tcp().connect(r->primary().address(), kEchoPort,
+                                        {.nodelay = true});
+  conn->on_established = [&] { conn->send(to_bytes("abc")); };
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return r->group->primary_bridge().divergences() > 0;
+  }, seconds(60)));
+  EXPECT_GE(r->group->primary_bridge().divergences(), 1u);
+}
+
+TEST(Divergence, DeterministicReplicasNeverTrigger) {
+  auto r = make_replicated_lan();
+  for (int i = 0; i < 3; ++i) {
+    test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 30000, 1500);
+    ASSERT_TRUE(run_until(r->sim(), [&] { return d.done(); }, seconds(120)));
+    EXPECT_TRUE(d.verify());
+  }
+  EXPECT_EQ(r->group->primary_bridge().divergences(), 0u);
+}
+
+}  // namespace
+}  // namespace tfo::core

@@ -1,0 +1,110 @@
+// Unit tests for the heartbeat fault detector.
+#include <gtest/gtest.h>
+
+#include "apps/topology.hpp"
+#include "core/fault_detector.hpp"
+#include "test_util.hpp"
+
+namespace tfo::core {
+namespace {
+
+struct FdFixture : ::testing::Test {
+  std::unique_ptr<apps::Lan> lan = apps::make_lan();
+  std::unique_ptr<FaultDetector> on_p, on_s;
+
+  void build(SimDuration period = milliseconds(10), SimDuration timeout = milliseconds(50)) {
+    on_p = std::make_unique<FaultDetector>(*lan->primary, lan->secondary->address(),
+                                           period, timeout);
+    on_s = std::make_unique<FaultDetector>(*lan->secondary, lan->primary->address(),
+                                           period, timeout);
+  }
+};
+
+TEST_F(FdFixture, NoFalsePositiveWhileBothAlive) {
+  build();
+  int p_fired = 0, s_fired = 0;
+  on_p->on_peer_failed = [&] { ++p_fired; };
+  on_s->on_peer_failed = [&] { ++s_fired; };
+  on_p->start();
+  on_s->start();
+  lan->sim.run_for(seconds(5));
+  EXPECT_EQ(p_fired, 0);
+  EXPECT_EQ(s_fired, 0);
+  EXPECT_GT(on_p->heartbeats_received(), 400u);
+}
+
+TEST_F(FdFixture, DetectsCrashWithinTimeout) {
+  build(milliseconds(10), milliseconds(50));
+  SimTime detected_at = 0;
+  on_s->on_peer_failed = [&] { detected_at = lan->sim.now(); };
+  on_p->start();
+  on_s->start();
+  lan->sim.run_for(seconds(1));
+  const SimTime crash_at = lan->sim.now();
+  lan->primary->fail();
+  lan->sim.run_for(seconds(1));
+  ASSERT_GT(detected_at, 0u);
+  const SimDuration latency = static_cast<SimDuration>(detected_at - crash_at);
+  EXPECT_GE(latency, milliseconds(30));  // at least timeout minus one period
+  EXPECT_LE(latency, milliseconds(60));  // and not much more than timeout
+}
+
+TEST_F(FdFixture, FiresExactlyOnce) {
+  build();
+  int fired = 0;
+  on_s->on_peer_failed = [&] { ++fired; };
+  on_p->start();
+  on_s->start();
+  lan->primary->fail();
+  lan->sim.run_for(seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FdFixture, StopPreventsDetection) {
+  build();
+  int fired = 0;
+  on_s->on_peer_failed = [&] { ++fired; };
+  on_p->start();
+  on_s->start();
+  lan->sim.run_for(milliseconds(100));
+  on_s->stop();
+  lan->primary->fail();
+  lan->sim.run_for(seconds(2));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(FdFixture, IgnoresHeartbeatsFromWrongPeer) {
+  // Detector on S watches P; heartbeats from the client must not feed it.
+  build(milliseconds(10), milliseconds(50));
+  int fired = 0;
+  on_s->on_peer_failed = [&] { fired++; };
+  on_s->start();
+  // Only the *client* sends heartbeat-protocol datagrams to S.
+  for (int i = 0; i < 100; ++i) {
+    lan->sim.schedule_after(milliseconds(5) * i, [&] {
+      lan->client->ip().send(ip::Proto::kHeartbeat, ip::Ipv4::any(),
+                             lan->secondary->address(), to_bytes("HB"));
+    });
+  }
+  lan->sim.run_for(seconds(1));
+  EXPECT_EQ(fired, 1);  // P never spoke: declared failed despite client noise
+  EXPECT_EQ(on_s->heartbeats_received(), 0u);
+}
+
+TEST_F(FdFixture, SurvivesModerateHeartbeatLoss) {
+  apps::LanParams lp;
+  lp.medium.loss_probability = 0.2;
+  lan = apps::make_lan(lp);
+  // Timeout of 10 periods tolerates long loss runs.
+  build(milliseconds(10), milliseconds(100));
+  int fired = 0;
+  on_p->on_peer_failed = [&] { ++fired; };
+  on_s->on_peer_failed = [&] { ++fired; };
+  on_p->start();
+  on_s->start();
+  lan->sim.run_for(seconds(10));
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace tfo::core

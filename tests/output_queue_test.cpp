@@ -1,0 +1,165 @@
+// Unit and property tests for the bridge output queues (§3.2/§3.4).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/output_queue.hpp"
+
+namespace tfo::core {
+namespace {
+
+Bytes seq_bytes(std::uint64_t offset, std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((offset + i) * 131 + 7);
+  }
+  return b;
+}
+
+TEST(OutputQueue, InsertAndExtract) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(10, seq_bytes(10, 5)));
+  EXPECT_EQ(q.total_bytes(), 5u);
+  EXPECT_EQ(q.contiguous_at(10), 5u);
+  EXPECT_EQ(q.contiguous_at(12), 3u);
+  EXPECT_EQ(q.contiguous_at(15), 0u);
+  EXPECT_EQ(q.contiguous_at(9), 0u);
+  const Bytes got = q.extract(10, 5);
+  EXPECT_EQ(got, seq_bytes(10, 5));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(OutputQueue, PartialExtractLeavesRemainder) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  EXPECT_EQ(q.extract(0, 4), seq_bytes(0, 4));
+  EXPECT_EQ(q.contiguous_at(4), 6u);
+  EXPECT_EQ(q.total_bytes(), 6u);
+  EXPECT_EQ(q.extract(4, 6), seq_bytes(4, 6));
+}
+
+TEST(OutputQueue, ExtractFromMiddleSplitsRun) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  EXPECT_EQ(q.extract(3, 4), seq_bytes(3, 4));
+  EXPECT_EQ(q.contiguous_at(0), 3u);
+  EXPECT_EQ(q.contiguous_at(7), 3u);
+  EXPECT_EQ(q.contiguous_at(3), 0u);
+  EXPECT_EQ(q.total_bytes(), 6u);
+}
+
+TEST(OutputQueue, AdjacentRunsMerge) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 5)));
+  ASSERT_TRUE(q.insert(5, seq_bytes(5, 5)));
+  EXPECT_EQ(q.contiguous_at(0), 10u);
+}
+
+TEST(OutputQueue, OverlappingIdenticalInsertIsIdempotent) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  ASSERT_TRUE(q.insert(3, seq_bytes(3, 10)));  // overlap, same content
+  EXPECT_EQ(q.contiguous_at(0), 13u);
+  EXPECT_EQ(q.total_bytes(), 13u);
+}
+
+TEST(OutputQueue, GapThenFill) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 3)));
+  ASSERT_TRUE(q.insert(10, seq_bytes(10, 3)));
+  EXPECT_EQ(q.contiguous_at(0), 3u);
+  EXPECT_EQ(q.min_offset(), 0u);
+  EXPECT_EQ(q.max_end(), 13u);
+  ASSERT_TRUE(q.insert(3, seq_bytes(3, 7)));  // fills the gap exactly
+  EXPECT_EQ(q.contiguous_at(0), 13u);
+}
+
+TEST(OutputQueue, DivergenceDetected) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  Bytes bad = seq_bytes(5, 5);
+  bad[2] ^= 0xff;
+  EXPECT_FALSE(q.insert(5, bad));
+  // Queue unchanged by the failed insert.
+  EXPECT_EQ(q.total_bytes(), 10u);
+  EXPECT_EQ(q.extract(0, 10), seq_bytes(0, 10));
+}
+
+TEST(OutputQueue, DropBelow) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  ASSERT_TRUE(q.insert(20, seq_bytes(20, 5)));
+  q.drop_below(5);
+  EXPECT_EQ(q.contiguous_at(0), 0u);
+  EXPECT_EQ(q.contiguous_at(5), 5u);
+  EXPECT_EQ(q.total_bytes(), 10u);
+  q.drop_below(100);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(OutputQueue, LargeOffsets) {
+  OutputQueue q;
+  const std::uint64_t base = 0xffffffff00ull;  // beyond 32-bit space
+  ASSERT_TRUE(q.insert(base, seq_bytes(base, 100)));
+  EXPECT_EQ(q.contiguous_at(base + 50), 50u);
+  EXPECT_EQ(q.extract(base, 100), seq_bytes(base, 100));
+}
+
+// Property: inserting random (possibly overlapping, always consistent)
+// fragments of a stream and then extracting from the front reproduces the
+// stream exactly — the invariant the bridge merge relies on.
+class OutputQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OutputQueueProperty, RandomFragmentsReassemble) {
+  Rng rng(GetParam());
+  OutputQueue q;
+  const std::uint64_t stream_len = 2000;
+  // Cover the stream with random fragments.
+  std::vector<bool> covered(stream_len, false);
+  while (std::find(covered.begin(), covered.end(), false) != covered.end()) {
+    const std::uint64_t off = rng.uniform(0, stream_len - 1);
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform(1, std::min<std::uint64_t>(64, stream_len - off)));
+    ASSERT_TRUE(q.insert(off, seq_bytes(off, len)));
+    for (std::uint64_t i = off; i < off + len; ++i) covered[i] = true;
+  }
+  EXPECT_EQ(q.total_bytes(), stream_len);
+  EXPECT_EQ(q.contiguous_at(0), stream_len);
+  // Extract in random-sized chunks from the front.
+  std::uint64_t pos = 0;
+  while (pos < stream_len) {
+    const std::size_t n = static_cast<std::size_t>(
+        rng.uniform(1, std::min<std::uint64_t>(97, stream_len - pos)));
+    EXPECT_EQ(q.extract(pos, n), seq_bytes(pos, n));
+    pos += n;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutputQueueProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: a single corrupted fragment is always caught, regardless of
+// how it overlaps existing content.
+class DivergenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DivergenceProperty, CorruptOverlapAlwaysCaught) {
+  Rng rng(GetParam() * 977);
+  for (int trial = 0; trial < 50; ++trial) {
+    OutputQueue q;
+    ASSERT_TRUE(q.insert(100, seq_bytes(100, 200)));
+    const std::uint64_t off = rng.uniform(100, 280);
+    const std::size_t len = static_cast<std::size_t>(rng.uniform(1, 40));
+    Bytes frag = seq_bytes(off, len);
+    // Corrupt one byte that overlaps the existing [100, 300) run.
+    const std::uint64_t overlap_end = std::min<std::uint64_t>(off + len, 300);
+    const std::size_t idx = static_cast<std::size_t>(rng.uniform(0, overlap_end - off - 1));
+    frag[idx] ^= 0x01;
+    EXPECT_FALSE(q.insert(off, frag)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivergenceProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace tfo::core

@@ -1,0 +1,150 @@
+// Property sweeps over the TCP implementation: for a broad grid of
+// configurations (MSS asymmetry, buffer sizes, Nagle, delayed-ACK, loss,
+// congestion control, transfer direction) the delivered byte stream must
+// equal the sent byte stream exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/topology.hpp"
+#include "test_util.hpp"
+
+namespace tfo::tcp {
+namespace {
+
+using apps::Lan;
+using apps::LanParams;
+using apps::make_lan;
+using test::run_until;
+
+struct SweepParam {
+  std::uint16_t mss_client = 1460;
+  std::uint16_t mss_server = 1460;
+  std::size_t send_buf = 65536;
+  std::size_t recv_buf = 65536;
+  bool nagle = true;
+  bool congestion_control = true;
+  SimDuration delack = milliseconds(100);
+  double loss = 0.0;
+  std::size_t transfer = 100 * 1024;
+  bool bidirectional = false;
+  std::uint64_t seed = 1;
+  const char* label = "";
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return info.param.label;
+}
+
+class TcpSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TcpSweep, StreamIntegrity) {
+  const SweepParam& p = GetParam();
+  LanParams lp;
+  lp.medium.loss_probability = p.loss;
+  lp.medium.loss_seed = p.seed;
+  lp.tcp.send_buf = p.send_buf;
+  lp.tcp.recv_buf = p.recv_buf;
+  lp.tcp.nagle = p.nagle;
+  lp.tcp.congestion_control = p.congestion_control;
+  lp.tcp.delayed_ack = p.delack;
+  lp.tcp.max_rto = seconds(5);
+  auto lan = make_lan(lp);
+  lan->client->tcp().mutable_params().mss = p.mss_client;
+  lan->primary->tcp().mutable_params().mss = p.mss_server;
+
+  std::shared_ptr<Connection> server;
+  lan->primary->tcp().listen(80, [&](std::shared_ptr<Connection> c) {
+    server = std::move(c);
+  });
+  auto client = lan->client->tcp().connect(lan->primary->address(), 80);
+  ASSERT_TRUE(run_until(lan->sim, [&] {
+    return server && client->state() == TcpState::kEstablished;
+  }, seconds(30)));
+
+  const Bytes up = test::pattern_bytes(p.transfer, 21);
+  const Bytes down = test::pattern_bytes(p.bidirectional ? p.transfer : 0, 22);
+  Bytes got_up, got_down;
+  server->on_readable = [&] { server->recv(got_up); };
+  client->on_readable = [&] { client->recv(got_down); };
+  client->send(up);
+  if (p.bidirectional) server->send(down);
+
+  ASSERT_TRUE(run_until(lan->sim, [&] {
+    return got_up.size() == up.size() && got_down.size() == down.size();
+  }, seconds(1200)))
+      << "up " << got_up.size() << "/" << up.size() << ", down " << got_down.size()
+      << "/" << down.size();
+  EXPECT_EQ(got_up, up);
+  EXPECT_EQ(got_down, down);
+
+  // Clean close in both directions as part of the property.
+  client->close();
+  server->on_peer_fin = [&] { server->close(); };
+  if (server->state() == TcpState::kCloseWait) server->close();
+  ASSERT_TRUE(run_until(lan->sim, [&] {
+    return client->state() == TcpState::kClosed &&
+           server->state() == TcpState::kClosed;
+  }, seconds(120)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpSweep,
+    ::testing::Values(
+        SweepParam{.label = "baseline"},
+        SweepParam{.mss_client = 536, .label = "small_client_mss"},
+        SweepParam{.mss_server = 536, .label = "small_server_mss"},
+        SweepParam{.mss_client = 100, .mss_server = 1460, .label = "tiny_mss"},
+        SweepParam{.send_buf = 4096, .label = "tiny_send_buf"},
+        SweepParam{.recv_buf = 4096, .label = "tiny_recv_buf"},
+        SweepParam{.send_buf = 2048, .recv_buf = 2048, .label = "tiny_both_bufs"},
+        SweepParam{.nagle = false, .label = "nodelay"},
+        SweepParam{.congestion_control = false, .label = "no_cc"},
+        SweepParam{.delack = milliseconds(500), .label = "long_delack"},
+        SweepParam{.delack = 0, .label = "zero_delack"},
+        SweepParam{.loss = 0.02, .seed = 5, .label = "loss2"},
+        SweepParam{.loss = 0.10, .transfer = 40 * 1024, .seed = 6, .label = "loss10"},
+        SweepParam{.bidirectional = true, .label = "bidirectional"},
+        SweepParam{.loss = 0.05, .transfer = 40 * 1024, .bidirectional = true,
+                   .seed = 7, .label = "bidi_loss5"},
+        SweepParam{.mss_client = 536, .recv_buf = 8192, .loss = 0.02,
+                   .transfer = 60 * 1024, .seed = 8, .label = "mixed_hard"},
+        SweepParam{.transfer = 1024 * 1024, .label = "large_1mb"},
+        SweepParam{.transfer = 1, .label = "single_byte"},
+        SweepParam{.transfer = 1460, .label = "exactly_one_mss"},
+        SweepParam{.transfer = 1461, .label = "one_mss_plus_one"}),
+    param_name);
+
+// Many small writes with Nagle on/off must still produce an identical
+// stream (write boundaries are not preserved, bytes are).
+class WritePatternSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WritePatternSweep, ChunkedWritesCoalesceCorrectly) {
+  const int chunk = GetParam();
+  auto lan = make_lan();
+  std::shared_ptr<Connection> server;
+  lan->primary->tcp().listen(80, [&](std::shared_ptr<Connection> c) {
+    server = std::move(c);
+  });
+  auto client = lan->client->tcp().connect(lan->primary->address(), 80);
+  ASSERT_TRUE(run_until(lan->sim, [&] {
+    return server && client->state() == TcpState::kEstablished;
+  }, seconds(30)));
+  const Bytes data = test::pattern_bytes(20000, 31);
+  Bytes got;
+  server->on_readable = [&] { server->recv(got); };
+  for (std::size_t off = 0; off < data.size(); off += chunk) {
+    const std::size_t n = std::min<std::size_t>(chunk, data.size() - off);
+    client->send(Bytes(data.begin() + static_cast<long>(off),
+                       data.begin() + static_cast<long>(off + n)));
+  }
+  ASSERT_TRUE(run_until(lan->sim, [&] { return got.size() == data.size(); },
+                        seconds(120)));
+  EXPECT_EQ(got, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, WritePatternSweep,
+                         ::testing::Values(1, 7, 100, 1459, 1460, 1461, 9999));
+
+}  // namespace
+}  // namespace tfo::tcp

@@ -1,0 +1,35 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfo::test {
+
+/// Runs the simulator until `pred` holds or `timeout` elapses. Returns
+/// true if the predicate became true.
+inline bool run_until(sim::Simulator& sim, const std::function<bool()>& pred,
+                      SimDuration timeout = seconds(60)) {
+  const SimTime deadline = sim.now() + static_cast<SimTime>(timeout);
+  while (!pred()) {
+    if (sim.now() > deadline || sim.pending() == 0) return pred();
+    sim.step();
+  }
+  return true;
+}
+
+/// Deterministic pseudo-random payload of length n (seeded by `seed`).
+inline Bytes pattern_bytes(std::size_t n, std::uint32_t seed = 0) {
+  Bytes b(n);
+  std::uint32_t x = seed * 2654435761u + 12345u;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    b[i] = static_cast<std::uint8_t>(x >> 24);
+  }
+  return b;
+}
+
+}  // namespace tfo::test
