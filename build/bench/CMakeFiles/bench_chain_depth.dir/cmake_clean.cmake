@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_depth.dir/bench_chain_depth.cpp.o"
+  "CMakeFiles/bench_chain_depth.dir/bench_chain_depth.cpp.o.d"
+  "bench_chain_depth"
+  "bench_chain_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connection_setup.dir/bench_connection_setup.cpp.o"
+  "CMakeFiles/bench_connection_setup.dir/bench_connection_setup.cpp.o.d"
+  "bench_connection_setup"
+  "bench_connection_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connection_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

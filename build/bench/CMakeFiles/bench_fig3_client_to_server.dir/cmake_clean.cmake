@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_client_to_server.dir/bench_fig3_client_to_server.cpp.o"
+  "CMakeFiles/bench_fig3_client_to_server.dir/bench_fig3_client_to_server.cpp.o.d"
+  "bench_fig3_client_to_server"
+  "bench_fig3_client_to_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_client_to_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_server_to_client.dir/bench_fig4_server_to_client.cpp.o"
+  "CMakeFiles/bench_fig4_server_to_client.dir/bench_fig4_server_to_client.cpp.o.d"
+  "bench_fig4_server_to_client"
+  "bench_fig4_server_to_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_server_to_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_failover.dir/chain_failover.cpp.o"
+  "CMakeFiles/chain_failover.dir/chain_failover.cpp.o.d"
+  "chain_failover"
+  "chain_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

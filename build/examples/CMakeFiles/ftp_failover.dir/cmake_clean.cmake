@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_failover.dir/ftp_failover.cpp.o"
+  "CMakeFiles/ftp_failover.dir/ftp_failover.cpp.o.d"
+  "ftp_failover"
+  "ftp_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitier_backend.dir/multitier_backend.cpp.o"
+  "CMakeFiles/multitier_backend.dir/multitier_backend.cpp.o.d"
+  "multitier_backend"
+  "multitier_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitier_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_cycle.dir/repair_cycle.cpp.o"
+  "CMakeFiles/repair_cycle.dir/repair_cycle.cpp.o.d"
+  "repair_cycle"
+  "repair_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

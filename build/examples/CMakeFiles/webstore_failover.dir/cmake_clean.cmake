@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webstore_failover.dir/webstore_failover.cpp.o"
+  "CMakeFiles/webstore_failover.dir/webstore_failover.cpp.o.d"
+  "webstore_failover"
+  "webstore_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webstore_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

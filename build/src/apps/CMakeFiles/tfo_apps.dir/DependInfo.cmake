@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/echo.cpp" "src/apps/CMakeFiles/tfo_apps.dir/echo.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/echo.cpp.o.d"
+  "/root/repo/src/apps/ftp.cpp" "src/apps/CMakeFiles/tfo_apps.dir/ftp.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/ftp.cpp.o.d"
+  "/root/repo/src/apps/host.cpp" "src/apps/CMakeFiles/tfo_apps.dir/host.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/host.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/apps/CMakeFiles/tfo_apps.dir/http.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/http.cpp.o.d"
+  "/root/repo/src/apps/store.cpp" "src/apps/CMakeFiles/tfo_apps.dir/store.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/store.cpp.o.d"
+  "/root/repo/src/apps/topology.cpp" "src/apps/CMakeFiles/tfo_apps.dir/topology.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/topology.cpp.o.d"
+  "/root/repo/src/apps/trace.cpp" "src/apps/CMakeFiles/tfo_apps.dir/trace.cpp.o" "gcc" "src/apps/CMakeFiles/tfo_apps.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tfo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tfo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tfo_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

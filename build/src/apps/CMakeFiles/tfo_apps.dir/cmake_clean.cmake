@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_apps.dir/echo.cpp.o"
+  "CMakeFiles/tfo_apps.dir/echo.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/ftp.cpp.o"
+  "CMakeFiles/tfo_apps.dir/ftp.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/host.cpp.o"
+  "CMakeFiles/tfo_apps.dir/host.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/http.cpp.o"
+  "CMakeFiles/tfo_apps.dir/http.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/store.cpp.o"
+  "CMakeFiles/tfo_apps.dir/store.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/topology.cpp.o"
+  "CMakeFiles/tfo_apps.dir/topology.cpp.o.d"
+  "CMakeFiles/tfo_apps.dir/trace.cpp.o"
+  "CMakeFiles/tfo_apps.dir/trace.cpp.o.d"
+  "libtfo_apps.a"
+  "libtfo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

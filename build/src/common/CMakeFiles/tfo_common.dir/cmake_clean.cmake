@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_common.dir/checksum.cpp.o"
+  "CMakeFiles/tfo_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/tfo_common.dir/logging.cpp.o"
+  "CMakeFiles/tfo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tfo_common.dir/stats.cpp.o"
+  "CMakeFiles/tfo_common.dir/stats.cpp.o.d"
+  "libtfo_common.a"
+  "libtfo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bridge_conn.cpp" "src/core/CMakeFiles/tfo_core.dir/bridge_conn.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/bridge_conn.cpp.o.d"
+  "/root/repo/src/core/fault_detector.cpp" "src/core/CMakeFiles/tfo_core.dir/fault_detector.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/fault_detector.cpp.o.d"
+  "/root/repo/src/core/output_queue.cpp" "src/core/CMakeFiles/tfo_core.dir/output_queue.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/output_queue.cpp.o.d"
+  "/root/repo/src/core/primary_bridge.cpp" "src/core/CMakeFiles/tfo_core.dir/primary_bridge.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/primary_bridge.cpp.o.d"
+  "/root/repo/src/core/replica_chain.cpp" "src/core/CMakeFiles/tfo_core.dir/replica_chain.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/replica_chain.cpp.o.d"
+  "/root/repo/src/core/replica_group.cpp" "src/core/CMakeFiles/tfo_core.dir/replica_group.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/replica_group.cpp.o.d"
+  "/root/repo/src/core/secondary_bridge.cpp" "src/core/CMakeFiles/tfo_core.dir/secondary_bridge.cpp.o" "gcc" "src/core/CMakeFiles/tfo_core.dir/secondary_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tfo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tfo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tfo_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tfo_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

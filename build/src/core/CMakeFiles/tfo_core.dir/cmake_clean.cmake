@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_core.dir/bridge_conn.cpp.o"
+  "CMakeFiles/tfo_core.dir/bridge_conn.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/fault_detector.cpp.o"
+  "CMakeFiles/tfo_core.dir/fault_detector.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/output_queue.cpp.o"
+  "CMakeFiles/tfo_core.dir/output_queue.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/primary_bridge.cpp.o"
+  "CMakeFiles/tfo_core.dir/primary_bridge.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/replica_chain.cpp.o"
+  "CMakeFiles/tfo_core.dir/replica_chain.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/replica_group.cpp.o"
+  "CMakeFiles/tfo_core.dir/replica_group.cpp.o.d"
+  "CMakeFiles/tfo_core.dir/secondary_bridge.cpp.o"
+  "CMakeFiles/tfo_core.dir/secondary_bridge.cpp.o.d"
+  "libtfo_core.a"
+  "libtfo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/arp.cpp" "src/ip/CMakeFiles/tfo_ip.dir/arp.cpp.o" "gcc" "src/ip/CMakeFiles/tfo_ip.dir/arp.cpp.o.d"
+  "/root/repo/src/ip/datagram.cpp" "src/ip/CMakeFiles/tfo_ip.dir/datagram.cpp.o" "gcc" "src/ip/CMakeFiles/tfo_ip.dir/datagram.cpp.o.d"
+  "/root/repo/src/ip/ip_layer.cpp" "src/ip/CMakeFiles/tfo_ip.dir/ip_layer.cpp.o" "gcc" "src/ip/CMakeFiles/tfo_ip.dir/ip_layer.cpp.o.d"
+  "/root/repo/src/ip/router.cpp" "src/ip/CMakeFiles/tfo_ip.dir/router.cpp.o" "gcc" "src/ip/CMakeFiles/tfo_ip.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tfo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_ip.dir/arp.cpp.o"
+  "CMakeFiles/tfo_ip.dir/arp.cpp.o.d"
+  "CMakeFiles/tfo_ip.dir/datagram.cpp.o"
+  "CMakeFiles/tfo_ip.dir/datagram.cpp.o.d"
+  "CMakeFiles/tfo_ip.dir/ip_layer.cpp.o"
+  "CMakeFiles/tfo_ip.dir/ip_layer.cpp.o.d"
+  "CMakeFiles/tfo_ip.dir/router.cpp.o"
+  "CMakeFiles/tfo_ip.dir/router.cpp.o.d"
+  "libtfo_ip.a"
+  "libtfo_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

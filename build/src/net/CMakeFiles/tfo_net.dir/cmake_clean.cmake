@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_net.dir/medium.cpp.o"
+  "CMakeFiles/tfo_net.dir/medium.cpp.o.d"
+  "CMakeFiles/tfo_net.dir/nic.cpp.o"
+  "CMakeFiles/tfo_net.dir/nic.cpp.o.d"
+  "libtfo_net.a"
+  "libtfo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

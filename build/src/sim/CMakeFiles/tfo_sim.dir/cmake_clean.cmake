@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tfo_sim.dir/simulator.cpp.o.d"
+  "libtfo_sim.a"
+  "libtfo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfo_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/tfo_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/tfo_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/segment.cpp" "src/tcp/CMakeFiles/tfo_tcp.dir/segment.cpp.o" "gcc" "src/tcp/CMakeFiles/tfo_tcp.dir/segment.cpp.o.d"
+  "/root/repo/src/tcp/tcp_layer.cpp" "src/tcp/CMakeFiles/tfo_tcp.dir/tcp_layer.cpp.o" "gcc" "src/tcp/CMakeFiles/tfo_tcp.dir/tcp_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tfo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tfo_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

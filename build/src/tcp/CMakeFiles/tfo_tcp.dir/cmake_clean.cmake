@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfo_tcp.dir/connection.cpp.o"
+  "CMakeFiles/tfo_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/tfo_tcp.dir/segment.cpp.o"
+  "CMakeFiles/tfo_tcp.dir/segment.cpp.o.d"
+  "CMakeFiles/tfo_tcp.dir/tcp_layer.cpp.o"
+  "CMakeFiles/tfo_tcp.dir/tcp_layer.cpp.o.d"
+  "libtfo_tcp.a"
+  "libtfo_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfo_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

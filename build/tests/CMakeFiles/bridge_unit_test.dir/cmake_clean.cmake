@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_unit_test.dir/bridge_unit_test.cpp.o"
+  "CMakeFiles/bridge_unit_test.dir/bridge_unit_test.cpp.o.d"
+  "bridge_unit_test"
+  "bridge_unit_test.pdb"
+  "bridge_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

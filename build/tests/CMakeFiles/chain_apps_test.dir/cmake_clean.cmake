@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_apps_test.dir/chain_apps_test.cpp.o"
+  "CMakeFiles/chain_apps_test.dir/chain_apps_test.cpp.o.d"
+  "chain_apps_test"
+  "chain_apps_test.pdb"
+  "chain_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_apps_test.dir/failover_apps_test.cpp.o"
+  "CMakeFiles/failover_apps_test.dir/failover_apps_test.cpp.o.d"
+  "failover_apps_test"
+  "failover_apps_test.pdb"
+  "failover_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

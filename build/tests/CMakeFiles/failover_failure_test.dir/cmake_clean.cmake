@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_failure_test.dir/failover_failure_test.cpp.o"
+  "CMakeFiles/failover_failure_test.dir/failover_failure_test.cpp.o.d"
+  "failover_failure_test"
+  "failover_failure_test.pdb"
+  "failover_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_loss_test.dir/failover_loss_test.cpp.o"
+  "CMakeFiles/failover_loss_test.dir/failover_loss_test.cpp.o.d"
+  "failover_loss_test"
+  "failover_loss_test.pdb"
+  "failover_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_teardown_test.dir/failover_teardown_test.cpp.o"
+  "CMakeFiles/failover_teardown_test.dir/failover_teardown_test.cpp.o.d"
+  "failover_teardown_test"
+  "failover_teardown_test.pdb"
+  "failover_teardown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_teardown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/output_queue_test.cpp" "tests/CMakeFiles/output_queue_test.dir/output_queue_test.cpp.o" "gcc" "tests/CMakeFiles/output_queue_test.dir/output_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tfo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tfo_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tfo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tfo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

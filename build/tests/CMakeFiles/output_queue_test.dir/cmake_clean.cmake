@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_queue_test.dir/output_queue_test.cpp.o"
+  "CMakeFiles/output_queue_test.dir/output_queue_test.cpp.o.d"
+  "output_queue_test"
+  "output_queue_test.pdb"
+  "output_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

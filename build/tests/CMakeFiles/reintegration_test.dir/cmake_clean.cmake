@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reintegration_test.dir/reintegration_test.cpp.o"
+  "CMakeFiles/reintegration_test.dir/reintegration_test.cpp.o.d"
+  "reintegration_test"
+  "reintegration_test.pdb"
+  "reintegration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reintegration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

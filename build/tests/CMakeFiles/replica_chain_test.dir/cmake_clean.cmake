@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_chain_test.dir/replica_chain_test.cpp.o"
+  "CMakeFiles/replica_chain_test.dir/replica_chain_test.cpp.o.d"
+  "replica_chain_test"
+  "replica_chain_test.pdb"
+  "replica_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

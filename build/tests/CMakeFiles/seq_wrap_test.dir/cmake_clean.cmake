@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_wrap_test.dir/seq_wrap_test.cpp.o"
+  "CMakeFiles/seq_wrap_test.dir/seq_wrap_test.cpp.o.d"
+  "seq_wrap_test"
+  "seq_wrap_test.pdb"
+  "seq_wrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_wrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_basic_test.dir/tcp_basic_test.cpp.o"
+  "CMakeFiles/tcp_basic_test.dir/tcp_basic_test.cpp.o.d"
+  "tcp_basic_test"
+  "tcp_basic_test.pdb"
+  "tcp_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_close_matrix_test.dir/tcp_close_matrix_test.cpp.o"
+  "CMakeFiles/tcp_close_matrix_test.dir/tcp_close_matrix_test.cpp.o.d"
+  "tcp_close_matrix_test"
+  "tcp_close_matrix_test.pdb"
+  "tcp_close_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_close_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_segment_test.dir/tcp_segment_test.cpp.o"
+  "CMakeFiles/tcp_segment_test.dir/tcp_segment_test.cpp.o.d"
+  "tcp_segment_test"
+  "tcp_segment_test.pdb"
+  "tcp_segment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_ftp_failover_test.dir/wan_ftp_failover_test.cpp.o"
+  "CMakeFiles/wan_ftp_failover_test.dir/wan_ftp_failover_test.cpp.o.d"
+  "wan_ftp_failover_test"
+  "wan_ftp_failover_test.pdb"
+  "wan_ftp_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_ftp_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

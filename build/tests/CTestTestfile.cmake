@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ip_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_segment_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/output_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_retransmit_test[1]_include.cmake")
+include("/root/repo/build/tests/bridge_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_teardown_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_property_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_keepalive_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_wrap_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/reintegration_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_close_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/wan_ftp_failover_test[1]_include.cmake")
