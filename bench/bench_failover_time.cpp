@@ -16,7 +16,7 @@ struct FailoverMeasurement {
 };
 
 FailoverMeasurement measure(SimDuration fd_timeout, SimDuration arp_latency,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, BenchJson* json = nullptr) {
   apps::LanParams lp = paper_lan_params();
   lp.arp.update_latency = arp_latency;
   lp.seed = seed;
@@ -56,29 +56,50 @@ FailoverMeasurement measure(SimDuration fd_timeout, SimDuration arp_latency,
   m.longest_stall_ms = to_milliseconds(longest);
   m.detect_ms = to_milliseconds(
       static_cast<SimDuration>(t.group->secondary_bridge().takeover_time() - crash_at));
+  if (json) {
+    // Snapshot every host's registry and failover timeline while the
+    // testbed is still alive: the crashed primary's event log shows the
+    // pre-crash merge activity, the secondary's shows the takeover.
+    json->capture_host(*t.lan->primary);
+    json->capture_host(*t.lan->secondary);
+    json->capture_host(t.client());
+  }
   return m;
 }
 
 }  // namespace
 }  // namespace tfo::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tfo;
   using namespace tfo::bench;
+  // --quick: single configuration, single seed — used by the CTest step
+  // that validates the BENCH_failover_time.json artifact schema.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   print_header("E1: client-observed failover time",
                "extension of paper §5 (interval T analysis); no table in the paper");
 
+  BenchJson json("failover_time");
   TextTable table({"detector timeout", "ARP latency T", "detect [ms]",
                    "longest client stall [ms]"});
-  const SimDuration timeouts[] = {milliseconds(10), milliseconds(50), milliseconds(100),
-                                  milliseconds(500)};
-  const SimDuration arps[] = {0, milliseconds(10), milliseconds(100), milliseconds(500)};
+  std::vector<SimDuration> timeouts = {milliseconds(10), milliseconds(50),
+                                       milliseconds(100), milliseconds(500)};
+  std::vector<SimDuration> arps = {0, milliseconds(10), milliseconds(100),
+                                   milliseconds(500)};
+  std::uint64_t seeds = 3;
+  if (quick) {
+    timeouts = {milliseconds(50)};
+    arps = {milliseconds(10)};
+    seeds = 1;
+  }
+  bool captured = false;
   for (SimDuration to : timeouts) {
     for (SimDuration arp : arps) {
       Sampler stall, detect;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        const auto m = measure(to, arp, seed);
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const auto m = measure(to, arp, seed, captured ? nullptr : &json);
         if (m.longest_stall_ms >= 0) {
+          captured = true;
           stall.add(m.longest_stall_ms);
           detect.add(m.detect_ms);
         }
@@ -92,5 +113,7 @@ int main() {
   std::printf("%s", table.render().c_str());
   std::printf("expected shape: stall ~ detector timeout + max(ARP latency, one\n"
               "retransmission cycle); the detector dominates when T is small.\n");
+  json.add_table("failover time vs detector timeout and ARP latency", table);
+  if (!json.write()) return 1;
   return 0;
 }

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench artifacts against the schema in OBSERVABILITY.md.
+
+Usage:
+    check_bench_json.py FILE [FILE ...]    validate artifact files
+    check_bench_json.py --self-test        run the validator's own checks
+
+Exit status 0 when every file (and the self-test) passes, 1 otherwise.
+Uses only the Python standard library.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# Event names emitted by src/obs/timeline.cpp (to_string). Kept in sync by
+# the self-referential check in tests/obs_test.cpp.
+KNOWN_EVENTS = {
+    "conn_created",
+    "handshake_merged",
+    "segment_merged",
+    "empty_ack_emitted",
+    "retransmit_forwarded",
+    "divergence",
+    "conn_closed",
+    "tombstone_created",
+    "tombstone_expired",
+    "stray_fin_acked",
+    "stray_fin_suppressed",
+    "takeover_start",
+    "takeover_complete",
+    "secondary_failed",
+    "peer_declared_failed",
+    "host_failed",
+}
+
+HIST_KEYS = {"count", "sum", "min", "max", "mean", "p50", "p99"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _expect(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def _check_table(i, table):
+    _expect(isinstance(table, dict), f"tables[{i}] is not an object")
+    for key in ("title", "columns", "rows"):
+        _expect(key in table, f"tables[{i}] missing '{key}'")
+    cols = table["columns"]
+    _expect(isinstance(cols, list) and cols, f"tables[{i}].columns empty")
+    _expect(all(isinstance(c, str) for c in cols),
+            f"tables[{i}].columns has a non-string entry")
+    for j, row in enumerate(table["rows"]):
+        _expect(isinstance(row, list), f"tables[{i}].rows[{j}] is not a list")
+        _expect(len(row) == len(cols),
+                f"tables[{i}].rows[{j}] has {len(row)} cells, "
+                f"expected {len(cols)}")
+        _expect(all(isinstance(c, str) for c in row),
+                f"tables[{i}].rows[{j}] has a non-string cell")
+
+
+def _check_metrics(host, metrics):
+    _expect(isinstance(metrics, dict), f"host '{host}': metrics not an object")
+    for key in ("counters", "gauges", "histograms"):
+        _expect(key in metrics, f"host '{host}': metrics missing '{key}'")
+    for name, v in metrics["counters"].items():
+        _expect(isinstance(v, int) and v >= 0,
+                f"host '{host}': counter '{name}' is not a non-negative int")
+    for name, v in metrics["gauges"].items():
+        _expect(isinstance(v, dict) and {"value", "max"} <= set(v),
+                f"host '{host}': gauge '{name}' missing value/max")
+    for name, h in metrics["histograms"].items():
+        _expect(isinstance(h, dict) and HIST_KEYS <= set(h),
+                f"host '{host}': histogram '{name}' missing {sorted(HIST_KEYS - set(h))}")
+
+
+def _check_timeline(host, timeline):
+    _expect(isinstance(timeline, list), f"host '{host}': timeline not a list")
+    prev_t = -1
+    for k, ev in enumerate(timeline):
+        _expect(isinstance(ev, dict), f"host '{host}': timeline[{k}] not an object")
+        for key in ("t_ns", "event"):
+            _expect(key in ev, f"host '{host}': timeline[{k}] missing '{key}'")
+        _expect(isinstance(ev["t_ns"], int) and ev["t_ns"] >= 0,
+                f"host '{host}': timeline[{k}].t_ns invalid")
+        _expect(ev["event"] in KNOWN_EVENTS,
+                f"host '{host}': timeline[{k}] unknown event '{ev['event']}'")
+        _expect(ev["t_ns"] >= prev_t,
+                f"host '{host}': timeline[{k}] goes backwards in time")
+        prev_t = ev["t_ns"]
+
+
+def check_document(doc):
+    """Raises SchemaError when `doc` violates the bench artifact schema."""
+    _expect(isinstance(doc, dict), "top level is not an object")
+    for key in ("bench", "schema_version", "tables", "hosts"):
+        _expect(key in doc, f"missing top-level key '{key}'")
+    _expect(isinstance(doc["bench"], str) and doc["bench"],
+            "'bench' is not a non-empty string")
+    _expect(doc["schema_version"] == SCHEMA_VERSION,
+            f"schema_version {doc['schema_version']!r} != {SCHEMA_VERSION}")
+    _expect(isinstance(doc["tables"], list) and doc["tables"],
+            "'tables' must be a non-empty list")
+    for i, table in enumerate(doc["tables"]):
+        _check_table(i, table)
+    _expect(isinstance(doc["hosts"], list) and doc["hosts"],
+            "'hosts' must be a non-empty list")
+    for host_obj in doc["hosts"]:
+        _expect(isinstance(host_obj, dict) and "host" in host_obj,
+                "hosts[] entry missing 'host'")
+        host = host_obj["host"]
+        for key in ("t_ns", "metrics", "timeline"):
+            _expect(key in host_obj, f"host '{host}' missing '{key}'")
+        _check_metrics(host, host_obj["metrics"])
+        _check_timeline(host, host_obj["timeline"])
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: {e}")
+        return False
+    try:
+        check_document(doc)
+    except SchemaError as e:
+        print(f"FAIL {path}: {e}")
+        return False
+    n_events = sum(len(h["timeline"]) for h in doc["hosts"])
+    print(f"OK   {path}: bench '{doc['bench']}', {len(doc['tables'])} table(s), "
+          f"{len(doc['hosts'])} host(s), {n_events} timeline event(s)")
+    return True
+
+
+def self_test():
+    good = {
+        "bench": "demo",
+        "schema_version": SCHEMA_VERSION,
+        "tables": [{"title": "t", "columns": ["a", "b"], "rows": [["1", "2"]]}],
+        "hosts": [{
+            "host": "primary",
+            "t_ns": 5,
+            "metrics": {
+                "counters": {"bridge.merged_segments": 3},
+                "gauges": {"bridge.connections": {"value": 1, "max": 2}},
+                "histograms": {"bridge.merged_payload_bytes": {
+                    "count": 1, "sum": 8.0, "min": 8.0, "max": 8.0,
+                    "mean": 8.0, "p50": 8.0, "p99": 8.0}},
+            },
+            "timeline": [
+                {"t_ns": 1, "host": "primary", "event": "conn_created",
+                 "conn": "k", "detail": ""},
+                {"t_ns": 4, "host": "primary", "event": "takeover_start",
+                 "conn": "", "detail": ""},
+            ],
+        }],
+    }
+    check_document(good)
+
+    import copy
+    bad_cases = [
+        ("missing bench", lambda d: d.pop("bench")),
+        ("wrong schema_version", lambda d: d.update(schema_version=99)),
+        ("ragged table row", lambda d: d["tables"][0]["rows"].append(["only-one"])),
+        ("unknown event", lambda d: d["hosts"][0]["timeline"][0].update(
+            event="not_a_real_event")),
+        ("time going backwards", lambda d: d["hosts"][0]["timeline"][1].update(
+            t_ns=0)),
+        ("negative counter", lambda d: d["hosts"][0]["metrics"]["counters"].update(
+            {"bridge.merged_segments": -1})),
+        ("gauge missing max", lambda d: d["hosts"][0]["metrics"]["gauges"].update(
+            {"bridge.connections": {"value": 1}})),
+        ("empty hosts", lambda d: d.update(hosts=[])),
+    ]
+    for name, mutate in bad_cases:
+        doc = copy.deepcopy(good)
+        mutate(doc)
+        try:
+            check_document(doc)
+        except SchemaError:
+            continue
+        print(f"FAIL self-test: '{name}' was not rejected")
+        return False
+    print(f"OK   self-test: valid document accepted, "
+          f"{len(bad_cases)} invalid mutations rejected")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 1
+    ok = True
+    files = []
+    for arg in argv[1:]:
+        if arg == "--self-test":
+            ok = self_test() and ok
+        else:
+            files.append(arg)
+    for path in files:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

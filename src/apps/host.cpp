@@ -1,5 +1,7 @@
 #include "apps/host.hpp"
 
+#include "obs/json.hpp"
+
 namespace tfo::apps {
 
 Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
@@ -12,6 +14,7 @@ Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
       sim_, *nic_, [this] { return ip_->local_addresses(); }, params_.arp);
   ip_->add_interface({nic_.get(), arp_.get(), params_.addr, params_.prefix_len});
   tcp_ = std::make_unique<tcp::TcpLayer>(sim_, *ip_, params_.tcp, params_.seed);
+  tcp_->set_observability(&obs_);
 
   nic_->set_rx_handler([this](const net::EthernetFrame& frame, bool to_us) {
     switch (frame.type) {
@@ -29,6 +32,18 @@ Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
 void Host::fail() {
   failed_ = true;
   nic_->set_enabled(false);
+  obs_.timeline.record(sim_.now(), obs::EventKind::kHostFailed, {}, params_.name);
+}
+
+std::string Host::snapshot_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("host").value(params_.name);
+  w.key("t_ns").value(static_cast<std::uint64_t>(sim_.now()));
+  w.key("metrics").raw(obs::metrics_json(params_.name, obs_.registry.snapshot()));
+  w.key("timeline").raw(obs::timeline_json(params_.name, obs_.timeline));
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace tfo::apps

@@ -12,6 +12,7 @@
 #include "ip/ip_layer.hpp"
 #include "net/medium.hpp"
 #include "net/nic.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/tcp_layer.hpp"
 
@@ -49,8 +50,25 @@ class Host {
   void fail();
   bool failed() const { return failed_; }
 
+  // --- observability (see OBSERVABILITY.md).
+
+  /// The host-wide observability hub the attached layers and bridges
+  /// publish into.
+  obs::Hub& obs() { return obs_; }
+  const obs::Hub& obs() const { return obs_; }
+  obs::Registry& metrics() { return obs_.registry; }
+  obs::EventLog& timeline() { return obs_.timeline; }
+
+  /// Point-in-time copy of every metric this host's components publish.
+  obs::Snapshot metrics_snapshot() const { return obs_.registry.snapshot(); }
+
+  /// The host's full observability state — metrics plus failover timeline
+  /// — as one JSON object (schema in OBSERVABILITY.md).
+  std::string snapshot_json() const;
+
  private:
   sim::Simulator& sim_;
+  obs::Hub obs_;
   HostParams params_;
   std::unique_ptr<net::Nic> nic_;
   std::unique_ptr<ip::ArpEntity> arp_;

@@ -26,7 +26,13 @@ std::uint16_t checksum_update16(std::uint16_t old_ck, std::uint16_t old_word,
   sum += static_cast<std::uint16_t>(~old_word);
   sum += new_word;
   while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
-  return static_cast<std::uint16_t>(~sum & 0xffff);
+  const std::uint16_t ck = static_cast<std::uint16_t>(~sum & 0xffff);
+  // One's-complement zero has two encodings; the incremental formula can
+  // produce 0x0000 where a full recompute yields 0xFFFF (the checksum of
+  // all-zero data). Receivers verify by summing to -0, and 0xFFFF passes
+  // wherever 0x0000 does but not vice versa — so never emit 0x0000.
+  // (UDP makes the same normalization for its it-is-zero sentinel.)
+  return ck == 0 ? 0xffff : ck;
 }
 
 std::uint16_t checksum_update32(std::uint16_t old_ck, std::uint32_t old_val,

@@ -19,6 +19,13 @@ std::uint16_t inet_checksum(BytesView data);
 
 /// Incrementally updates checksum `old_ck` after a 16-bit word changed from
 /// `old_word` to `new_word` (RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')).
+///
+/// Zero-representation note: one's-complement zero is ambiguous (±0), and
+/// eqn. 3 cannot always reproduce the encoding a full recompute would pick
+/// — e.g. rewriting all-zero data back to itself. The result is therefore
+/// normalized to never be 0x0000: 0xFFFF verifies everywhere 0x0000 would,
+/// while the reverse does not hold. Consequently incremental and full
+/// checksums agree except that full may say 0x0000 where this says 0xFFFF.
 std::uint16_t checksum_update16(std::uint16_t old_ck, std::uint16_t old_word,
                                 std::uint16_t new_word);
 

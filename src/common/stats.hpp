@@ -41,6 +41,10 @@ class TextTable {
   /// Renders with column widths fitted to content.
   std::string render() const;
 
+  // Structured access for machine-readable bench artifacts.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Formats a double with `prec` digits after the point.
   static std::string num(double v, int prec = 2);
 

@@ -17,9 +17,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/seq32.hpp"
 #include "core/output_queue.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
 #include "tcp/conn_key.hpp"
 #include "tcp/segment.hpp"
 
@@ -69,6 +72,24 @@ class BridgeConn {
   /// used when the owning host is promoted to head of a replica chain
   /// and takes over the service address.
   void rebind_local(ip::Ipv4 addr) { key_.local_ip = addr; }
+
+  /// Attaches this connection to a host observability hub (counters,
+  /// queue gauges, timeline events). `sim` supplies event timestamps.
+  /// Bare connections (unit tests) simply skip instrumentation.
+  void attach_obs(obs::Hub* hub, sim::Simulator* sim);
+
+  // ---- bridge-constructed control segments (§8 teardown, divergence).
+  /// Wire sequence number an unsolicited bridge-constructed segment
+  /// (RST, pure ACK) must carry to land inside the remote's receive
+  /// window: the connection's client-facing SND.NXT — `next_to_client_`
+  /// translated into the secondary's sequence space, which the remote is
+  /// synchronized to (§3.3). RFC 793 peers discard out-of-window
+  /// segments silently, so `seq = 0` placeholders are never acceptable.
+  tfo::Seq32 remote_facing_seq() const;
+  /// Matching ACK value (the merged cumulative ACK translated into the
+  /// remote's own sequence space); nullopt before the remote ISN is
+  /// known, in which case the caller must omit the ACK flag.
+  std::optional<tfo::Seq32> remote_facing_ack() const;
 
   // -------------------------------------------------------------- state
   bool solo() const { return solo_; }
@@ -126,6 +147,16 @@ class BridgeConn {
 
   bool solo_ = false;  // §6 mode after secondary failure
   bool dead_ = false;
+
+  // Observability (null when unattached). Counter/histogram handles are
+  // resolved once in attach_obs; the timeline caches the key string.
+  void note_event(obs::EventKind kind, std::string detail = {});
+  obs::Hub* obs_ = nullptr;
+  sim::Simulator* obs_sim_ = nullptr;
+  std::string key_str_;
+  obs::Counter* ctr_retransmits_ = nullptr;
+  obs::Counter* ctr_empty_acks_ = nullptr;
+  obs::Histogram* hist_merged_bytes_ = nullptr;
 };
 
 }  // namespace tfo::core

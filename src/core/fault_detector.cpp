@@ -13,6 +13,12 @@ FaultDetector::FaultDetector(apps::Host& host, ip::Ipv4 peer, SimDuration period
       src_(src),
       send_timer_(host.simulator()),
       deadline_(host.simulator()) {
+  // Registry counters are cumulative across detector instances on the
+  // host; the accessors stay per-instance (a replaced detector restarts
+  // its own counts), so both are kept.
+  auto& reg = host_.obs().registry;
+  ctr_sent_ = &reg.counter("fd.heartbeats_sent");
+  ctr_received_ = &reg.counter("fd.heartbeats_received");
   host_.ip().register_protocol(
       ip::Proto::kHeartbeat,
       [this, w = std::weak_ptr<bool>(alive_)](const ip::IpDatagram& d,
@@ -20,6 +26,7 @@ FaultDetector::FaultDetector(apps::Host& host, ip::Ipv4 peer, SimDuration period
         if (w.expired()) return;  // stale registration of a replaced detector
         if (!running_ || d.src != peer_) return;
         ++received_;
+        ctr_received_->inc();
         arm_deadline();
       });
 }
@@ -42,6 +49,7 @@ void FaultDetector::stop() {
 void FaultDetector::send_heartbeat() {
   if (!running_) return;
   ++sent_;
+  ctr_sent_->inc();
   host_.ip().send(ip::Proto::kHeartbeat, src_, peer_, to_bytes("HB"));
   send_timer_.start(period_, [this] { send_heartbeat(); });
 }
@@ -54,6 +62,9 @@ void FaultDetector::arm_deadline() {
     send_timer_.stop();
     TFO_LOG(kInfo, "fd") << host_.name() << " declares peer " << peer_.str()
                          << " FAILED";
+    host_.obs().timeline.record(host_.simulator().now(),
+                                obs::EventKind::kPeerDeclaredFailed, {},
+                                "peer=" + peer_.str());
     if (on_peer_failed) on_peer_failed();
   });
 }
@@ -123,6 +134,9 @@ void HeartbeatMesh::arm(Peer& peer) {
     p->declared = true;
     TFO_LOG(kInfo, "fd") << host_.name() << " declares chain peer "
                          << p->addr.str() << " FAILED";
+    host_.obs().timeline.record(host_.simulator().now(),
+                                obs::EventKind::kPeerDeclaredFailed, {},
+                                "peer=" + p->addr.str());
     if (p->on_failed) p->on_failed();
   });
 }

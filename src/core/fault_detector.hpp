@@ -49,6 +49,8 @@ class FaultDetector {
   bool running_ = false;
   bool declared_ = false;
   std::uint64_t sent_ = 0, received_ = 0;
+  obs::Counter* ctr_sent_ = nullptr;
+  obs::Counter* ctr_received_ = nullptr;
   /// Liveness sentinel: the protocol-handler registration on the host
   /// outlives this object when a detector is replaced (reintegration);
   /// the handler checks the sentinel before touching `this`.

@@ -50,6 +50,7 @@ bool OutputQueue::insert(std::uint64_t offset, BytesView data) {
   runs_.erase(first, last);
   total_ += merged.size();
   runs_.emplace(span_off, std::move(merged));
+  publish_gauges();
   return true;
 }
 
@@ -83,6 +84,7 @@ Bytes OutputQueue::extract(std::uint64_t offset, std::size_t n) {
     total_ += right.size();
     runs_.emplace(offset + n, std::move(right));
   }
+  publish_gauges();
   return out;
 }
 
@@ -105,6 +107,7 @@ void OutputQueue::drop_below(std::uint64_t offset) {
     runs_.emplace(offset, std::move(tail));
     break;
   }
+  publish_gauges();
 }
 
 std::uint64_t OutputQueue::max_end() const {

@@ -16,11 +16,32 @@
 #include <map>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
 
 namespace tfo::core {
 
 class OutputQueue {
  public:
+  OutputQueue() = default;
+  ~OutputQueue() {
+    // Retire this queue's contribution from the shared gauges.
+    if (gauge_bytes_) gauge_bytes_->add(-published_bytes_);
+    if (gauge_depth_) gauge_depth_->add(-published_depth_);
+  }
+  // Bound gauges account this queue's contribution by delta; copying
+  // would double-count it.
+  OutputQueue(const OutputQueue&) = delete;
+  OutputQueue& operator=(const OutputQueue&) = delete;
+
+  /// Publishes this queue's buffered bytes and run count (depth) into
+  /// host-wide gauges by delta, so several queues can share one gauge
+  /// (the bridge aggregates across connections). Either may be null.
+  /// The destructor retires the queue's remaining contribution.
+  void bind_gauges(obs::Gauge* bytes, obs::Gauge* depth) {
+    gauge_bytes_ = bytes;
+    gauge_depth_ = depth;
+    publish_gauges();
+  }
   /// Inserts `data` at `offset`, merging with adjacent/overlapping runs.
   /// Returns false (and leaves the queue unchanged) when an overlapping
   /// byte disagrees with previously inserted content — replica divergence.
@@ -46,12 +67,27 @@ class OutputQueue {
   void clear() {
     runs_.clear();
     total_ = 0;
+    publish_gauges();
   }
 
  private:
+  void publish_gauges() {
+    if (gauge_bytes_) {
+      gauge_bytes_->add(static_cast<std::int64_t>(total_) - published_bytes_);
+      published_bytes_ = static_cast<std::int64_t>(total_);
+    }
+    if (gauge_depth_) {
+      gauge_depth_->add(static_cast<std::int64_t>(runs_.size()) - published_depth_);
+      published_depth_ = static_cast<std::int64_t>(runs_.size());
+    }
+  }
+
   // Non-overlapping, non-adjacent runs: offset -> bytes.
   std::map<std::uint64_t, Bytes> runs_;
   std::size_t total_ = 0;
+  obs::Gauge* gauge_bytes_ = nullptr;
+  obs::Gauge* gauge_depth_ = nullptr;
+  std::int64_t published_bytes_ = 0, published_depth_ = 0;
 };
 
 }  // namespace tfo::core

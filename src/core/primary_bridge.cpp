@@ -12,6 +12,13 @@ using tcp::TcpSegment;
 PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
     : host_(host), cfg_(std::move(cfg)) {
   tombstone_ttl_ = 4 * host_.tcp().params().msl;
+  auto& reg = host_.obs().registry;
+  ctr_merged_ = &reg.counter("bridge.merged_segments");
+  ctr_stray_fin_acks_ = &reg.counter("bridge.stray_fin_acks");
+  ctr_stray_fin_suppressed_ = &reg.counter("bridge.stray_fin_suppressed");
+  ctr_divergences_ = &reg.counter("bridge.divergences");
+  gau_connections_ = &reg.gauge("bridge.connections");
+  gau_tombstones_ = &reg.gauge("bridge.tombstones");
   out_tap_ = host_.tcp().add_outbound_tap(
       [this](TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& dst) {
         return outbound_tap(seg, src, dst);
@@ -31,6 +38,30 @@ PrimaryBridge::~PrimaryBridge() {
 BridgeConn* PrimaryBridge::find(const ConnKey& key) {
   auto it = conns_.find(key);
   return it == conns_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t PrimaryBridge::merged_segments_sent() const {
+  return host_.obs().registry.counter_value("bridge.merged_segments");
+}
+std::uint64_t PrimaryBridge::retransmissions_forwarded() const {
+  return host_.obs().registry.counter_value("bridge.retransmissions_forwarded");
+}
+std::uint64_t PrimaryBridge::stray_fin_acks() const {
+  return host_.obs().registry.counter_value("bridge.stray_fin_acks");
+}
+std::uint64_t PrimaryBridge::divergences() const {
+  return host_.obs().registry.counter_value("bridge.divergences");
+}
+
+void PrimaryBridge::note_event(obs::EventKind kind, const ConnKey& key,
+                               std::string detail) {
+  host_.obs().timeline.record(host_.simulator().now(), kind, key.str(),
+                              std::move(detail));
+}
+
+void PrimaryBridge::publish_gauges() {
+  gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
+  gau_tombstones_->set(static_cast<std::int64_t>(tombstones_.size()));
 }
 
 void PrimaryBridge::exclude_existing_connections() {
@@ -57,7 +88,10 @@ BridgeConn& PrimaryBridge::conn_for(const ConnKey& key) {
   if (it == conns_.end()) {
     it = conns_.emplace(key, std::make_unique<BridgeConn>(*this, key, cfg_.secondary_addr))
              .first;
+    it->second->attach_obs(&host_.obs(), &host_.simulator());
     if (secondary_failed_) it->second->on_secondary_failed();
+    publish_gauges();
+    note_event(obs::EventKind::kConnCreated, key);
     TFO_LOG(kDebug, "bridge") << "primary bridge: new connection " << key.str();
   }
   return *it->second;
@@ -124,7 +158,7 @@ TapVerdict PrimaryBridge::inbound_tap(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& 
 // ------------------------------------------------------------------ sink
 
 void PrimaryBridge::emit(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
-  ++merged_segments_;
+  ctr_merged_->inc();
   if (upstream_) {
     // Chain-intermediate role: the merged stream is itself diverted to
     // the next replica up, which merges it with its own TCP's output.
@@ -154,15 +188,27 @@ void PrimaryBridge::rekey_local(ip::Ipv4 from, ip::Ipv4 to) {
 }
 
 void PrimaryBridge::divergence(const ConnKey& key) {
-  ++divergences_;
+  ctr_divergences_->inc();
+  note_event(obs::EventKind::kDivergence, key);
   TFO_LOG(kError, "bridge") << "replica divergence on " << key.str()
                             << " — resetting connection";
   // The stream can no longer be kept consistent: reset the remote and our
-  // own TCP endpoint, then tombstone.
+  // own TCP endpoint, then tombstone. The RST must carry the connection's
+  // client-facing SND.NXT (in the secondary's sequence space, which the
+  // client is synchronized to) — a conforming receiver silently discards
+  // out-of-window resets, so a seq=0 placeholder would leave the client
+  // hanging until its own timeout.
   TcpSegment rst;
   rst.src_port = key.local_port;
   rst.dst_port = key.remote_port;
   rst.flags = Flags::kRst;
+  if (const BridgeConn* bc = find(key)) {
+    rst.seq = bc->remote_facing_seq();
+    if (auto ack = bc->remote_facing_ack()) {
+      rst.flags |= Flags::kAck;
+      rst.ack = *ack;
+    }
+  }
   host_.tcp().send_segment_raw(rst, key.local_ip, key.remote_ip);
   if (auto conn = host_.tcp().find(key)) conn->abort();
   schedule_removal(key);
@@ -170,16 +216,23 @@ void PrimaryBridge::divergence(const ConnKey& key) {
 
 void PrimaryBridge::fully_closed(const ConnKey& key) {
   TFO_LOG(kDebug, "bridge") << "primary bridge: connection fully closed " << key.str();
+  note_event(obs::EventKind::kConnClosed, key);
   schedule_removal(key);
 }
 
 void PrimaryBridge::schedule_removal(const ConnKey& key) {
   tombstones_[key] = host_.simulator().now() + static_cast<SimTime>(tombstone_ttl_);
+  note_event(obs::EventKind::kTombstoneCreated, key,
+             "ttl_ns=" + std::to_string(tombstone_ttl_));
+  publish_gauges();
   // Deferred: we may be inside this connection's own event handler. The
   // sentinel keeps the events inert if the bridge is replaced meanwhile.
   host_.simulator().schedule_after(
       0, [this, key, w = std::weak_ptr<bool>(alive_)] {
-        if (!w.expired()) conns_.erase(key);
+        if (!w.expired()) {
+          conns_.erase(key);
+          publish_gauges();
+        }
       });
   // Opportunistic tombstone expiry.
   host_.simulator().schedule_after(
@@ -187,8 +240,14 @@ void PrimaryBridge::schedule_removal(const ConnKey& key) {
         if (w.expired()) return;
         const SimTime now = host_.simulator().now();
         for (auto it = tombstones_.begin(); it != tombstones_.end();) {
-          it = it->second <= now ? tombstones_.erase(it) : std::next(it);
+          if (it->second <= now) {
+            note_event(obs::EventKind::kTombstoneExpired, it->first);
+            it = tombstones_.erase(it);
+          } else {
+            ++it;
+          }
         }
+        publish_gauges();
       });
 }
 
@@ -196,14 +255,31 @@ bool PrimaryBridge::tombstoned(const ConnKey& key) const {
   return tombstones_.contains(key);
 }
 
+// §8 stray-FIN replies. The reply ACK is unsolicited, so its sequence
+// number must sit inside the FIN sender's receive window or a conforming
+// peer discards it. The only in-window value the bridge can reconstruct
+// after teardown is the stray FIN's own ACK field (the sender's RCV.NXT).
+// A FIN carrying no ACK flag gives us nothing to anchor on — fabricating
+// seq=0 would be discarded (or worse, misinterpreted) — so the reply is
+// suppressed and the sender's own retransmission timer tries again with,
+// eventually, an ACK-bearing FIN.
+
 void PrimaryBridge::ack_stray_fin_from_remote(const TcpSegment& seg, ip::Ipv4 remote,
                                               ip::Ipv4 local) {
-  ++stray_fin_acks_;
+  const ConnKey key{local, seg.dst_port, remote, seg.src_port};
+  if (!seg.has_ack()) {
+    ctr_stray_fin_suppressed_->inc();
+    note_event(obs::EventKind::kStrayFinSuppressed, key, "from=remote");
+    TFO_LOG(kDebug, "bridge") << "stray FIN without ACK from remote — no reply";
+    return;
+  }
+  ctr_stray_fin_acks_->inc();
+  note_event(obs::EventKind::kStrayFinAcked, key, "from=remote");
   TcpSegment ack;
   ack.src_port = seg.dst_port;
   ack.dst_port = seg.src_port;
   ack.flags = Flags::kAck;
-  ack.seq = seg.has_ack() ? seg.ack : 0;
+  ack.seq = seg.ack;
   ack.ack = seq_add(seg.seq, seg.seg_len());
   // Reply from the address the remote addressed (the service address —
   // not necessarily this host's interface address after a promotion).
@@ -211,14 +287,22 @@ void PrimaryBridge::ack_stray_fin_from_remote(const TcpSegment& seg, ip::Ipv4 re
 }
 
 void PrimaryBridge::ack_stray_fin_from_secondary(const TcpSegment& seg) {
-  ++stray_fin_acks_;
+  const ConnKey key{*seg.orig_dst, seg.dst_port, cfg_.secondary_addr, seg.src_port};
+  if (!seg.has_ack()) {
+    ctr_stray_fin_suppressed_->inc();
+    note_event(obs::EventKind::kStrayFinSuppressed, key, "from=secondary");
+    TFO_LOG(kDebug, "bridge") << "stray FIN without ACK from secondary — no reply";
+    return;
+  }
+  ctr_stray_fin_acks_->inc();
+  note_event(obs::EventKind::kStrayFinAcked, key, "from=secondary");
   // The reply must look like it came from the client so the secondary's
   // TCP layer matches it to its connection (keyed remote = client).
   TcpSegment ack;
   ack.src_port = seg.dst_port;  // client port
   ack.dst_port = seg.src_port;  // server port
   ack.flags = Flags::kAck;
-  ack.seq = seg.has_ack() ? seg.ack : 0;
+  ack.seq = seg.ack;
   ack.ack = seq_add(seg.seq, seg.seg_len());
   host_.tcp().send_segment_raw(ack, *seg.orig_dst, cfg_.secondary_addr);
 }
@@ -227,6 +311,9 @@ void PrimaryBridge::on_secondary_failed() {
   if (secondary_failed_) return;
   secondary_failed_ = true;
   TFO_LOG(kInfo, "bridge") << "primary bridge: secondary failed, entering solo mode";
+  host_.obs().timeline.record(host_.simulator().now(),
+                              obs::EventKind::kSecondaryFailed, {},
+                              "conns=" + std::to_string(conns_.size()));
   for (auto& [key, conn] : conns_) conn->on_secondary_failed();
 }
 

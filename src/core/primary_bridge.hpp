@@ -74,11 +74,12 @@ class PrimaryBridge : public BridgeConnSink {
   std::size_t tombstone_count() const { return tombstones_.size(); }
   BridgeConn* find(const tcp::ConnKey& key);
 
-  // Statistics (exposed for tests and the ablation benches).
-  std::uint64_t merged_segments_sent() const { return merged_segments_; }
-  std::uint64_t retransmissions_forwarded() const { return retrans_forwarded_; }
-  std::uint64_t stray_fin_acks() const { return stray_fin_acks_; }
-  std::uint64_t divergences() const { return divergences_; }
+  // Statistics (thin views over the host metrics registry — the
+  // authoritative values live in obs::Registry under the bridge.* names).
+  std::uint64_t merged_segments_sent() const;
+  std::uint64_t retransmissions_forwarded() const;
+  std::uint64_t stray_fin_acks() const;
+  std::uint64_t divergences() const;
 
   // BridgeConnSink:
   void emit(const tcp::TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) override;
@@ -96,6 +97,9 @@ class PrimaryBridge : public BridgeConnSink {
   void ack_stray_fin_from_remote(const tcp::TcpSegment& seg, ip::Ipv4 remote,
                                  ip::Ipv4 local);
   void ack_stray_fin_from_secondary(const tcp::TcpSegment& seg);
+  void note_event(obs::EventKind kind, const tcp::ConnKey& key,
+                  std::string detail = {});
+  void publish_gauges();
 
   apps::Host& host_;
   FailoverConfig cfg_;
@@ -112,8 +116,13 @@ class PrimaryBridge : public BridgeConnSink {
   /// Liveness sentinel for deferred events (tombstone expiry, deferred
   /// connection removal) that may fire after the bridge was replaced.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  std::uint64_t merged_segments_ = 0, retrans_forwarded_ = 0;
-  std::uint64_t stray_fin_acks_ = 0, divergences_ = 0;
+  // Registry handles (resolved once in the constructor).
+  obs::Counter* ctr_merged_ = nullptr;
+  obs::Counter* ctr_stray_fin_acks_ = nullptr;
+  obs::Counter* ctr_stray_fin_suppressed_ = nullptr;
+  obs::Counter* ctr_divergences_ = nullptr;
+  obs::Gauge* gau_connections_ = nullptr;
+  obs::Gauge* gau_tombstones_ = nullptr;
 };
 
 }  // namespace tfo::core

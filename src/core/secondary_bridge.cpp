@@ -11,6 +11,10 @@ using tcp::TcpSegment;
 
 SecondaryBridge::SecondaryBridge(apps::Host& host, FailoverConfig cfg)
     : host_(host), cfg_(std::move(cfg)), divert_to_(cfg_.primary_addr) {
+  auto& reg = host_.obs().registry;
+  ctr_translated_ = &reg.counter("secondary.datagrams_translated");
+  ctr_diverted_ = &reg.counter("secondary.segments_diverted");
+  ctr_snooped_dropped_ = &reg.counter("secondary.snooped_dropped");
   host_.nic().set_promiscuous(true);
   ip_hook_ = host_.ip().add_inbound_hook(
       [this](ip::IpDatagram& d, const ip::RxMeta& m) { return ip_inbound(d, m); });
@@ -24,6 +28,16 @@ SecondaryBridge::~SecondaryBridge() {
   alive_.reset();
   host_.ip().remove_hook(ip_hook_);
   host_.tcp().remove_tap(out_tap_);
+}
+
+std::uint64_t SecondaryBridge::datagrams_translated() const {
+  return host_.obs().registry.counter_value("secondary.datagrams_translated");
+}
+std::uint64_t SecondaryBridge::segments_diverted() const {
+  return host_.obs().registry.counter_value("secondary.segments_diverted");
+}
+std::uint64_t SecondaryBridge::snooped_dropped() const {
+  return host_.obs().registry.counter_value("secondary.snooped_dropped");
 }
 
 bool SecondaryBridge::failover_traffic_inbound(std::uint16_t src_port,
@@ -43,7 +57,7 @@ HookVerdict SecondaryBridge::ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta&
     // addressed to P."
     if (dgram.proto != ip::Proto::kTcp || dgram.dst != cfg_.primary_addr ||
         dgram.payload.size() < 20) {
-      ++snooped_dropped_;
+      ctr_snooped_dropped_->inc();
       return HookVerdict::kDrop;
     }
     const std::uint16_t src_port = get_u16(dgram.payload, 0);
@@ -58,14 +72,14 @@ HookVerdict SecondaryBridge::ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta&
       }
     }
     if (!match) {
-      ++snooped_dropped_;
+      ctr_snooped_dropped_->inc();
       return HookVerdict::kDrop;
     }
     // Rewrite a_p -> a_s and fix the TCP checksum incrementally in the
     // serialized segment (the pseudo-header destination changed).
     tcp::patch_checksum_for_address_change(dgram.payload, dgram.dst, host_.address());
     dgram.dst = host_.address();
-    ++translated_;
+    ctr_translated_->inc();
     return HookVerdict::kContinue;
   }
   return HookVerdict::kContinue;
@@ -96,7 +110,7 @@ TapVerdict SecondaryBridge::tcp_outbound(TcpSegment& seg, ip::Ipv4& src, ip::Ipv
   // replica up), recording the true destination in a TCP header option.
   seg.orig_dst = dst;
   dst = divert_to_;
-  ++diverted_;
+  ctr_diverted_->inc();
   return TapVerdict::kContinue;
 }
 
@@ -105,6 +119,8 @@ void SecondaryBridge::take_over() {
   TFO_LOG(kInfo, "bridge") << "secondary bridge: taking over "
                            << cfg_.primary_addr.str();
   takeover_time_ = host_.simulator().now();
+  host_.obs().timeline.record(takeover_time_, obs::EventKind::kTakeoverStart, {},
+                              "addr=" + cfg_.primary_addr.str());
 
   // Step 1: stop sending client-bound segments.
   paused_ = true;
@@ -141,6 +157,9 @@ void SecondaryBridge::take_over() {
     paused_ = false;
     auto held = std::move(pause_buffer_);
     pause_buffer_.clear();
+    host_.obs().timeline.record(host_.simulator().now(),
+                                obs::EventKind::kTakeoverComplete, {},
+                                "held_segments=" + std::to_string(held.size()));
     for (auto& h : held) {
       // Held segments were generated under a_s; they go out re-sourced
       // from the taken-over address.

@@ -43,9 +43,10 @@ class SecondaryBridge {
   void set_divert_to(ip::Ipv4 addr) { divert_to_ = addr; }
   ip::Ipv4 divert_to() const { return divert_to_; }
 
-  std::uint64_t datagrams_translated() const { return translated_; }
-  std::uint64_t segments_diverted() const { return diverted_; }
-  std::uint64_t snooped_dropped() const { return snooped_dropped_; }
+  // Statistics (thin views over the host metrics registry).
+  std::uint64_t datagrams_translated() const;
+  std::uint64_t segments_diverted() const;
+  std::uint64_t snooped_dropped() const;
 
  private:
   ip::HookVerdict ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta& meta);
@@ -67,7 +68,10 @@ class SecondaryBridge {
   tcp::TapId out_tap_ = 0;
   /// Liveness sentinel for deferred events (ARP repeats, pause resume).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  std::uint64_t translated_ = 0, diverted_ = 0, snooped_dropped_ = 0;
+  // Registry handles (resolved once in the constructor).
+  obs::Counter* ctr_translated_ = nullptr;
+  obs::Counter* ctr_diverted_ = nullptr;
+  obs::Counter* ctr_snooped_dropped_ = nullptr;
 };
 
 }  // namespace tfo::core

@@ -1,0 +1,60 @@
+// Minimal JSON emission for observability snapshots and bench artifacts.
+// No parsing, no DOM — a streaming writer with comma/nesting bookkeeping,
+// plus canned serializers for the Registry/EventLog shapes documented in
+// OBSERVABILITY.md. Output is deterministic (registry order is sorted by
+// name, timeline order is record order) so BENCH_*.json files diff
+// cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace tfo::obs {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. The caller supplies structure via begin_*/end_*
+/// and the writer inserts commas; keys are only legal inside objects.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  /// Splices a pre-rendered JSON fragment as one value.
+  JsonWriter& raw(std::string_view fragment);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separator();
+  std::string out_;
+  /// One entry per open container: true once the first element was
+  /// written (a comma is needed before the next one).
+  std::vector<bool> has_elems_;
+  bool after_key_ = false;
+};
+
+/// Renders one host's metrics as the OBSERVABILITY.md "metrics" entry:
+/// {"host": ..., "counters": {...}, "gauges": {...}, "histograms": {...}}.
+std::string metrics_json(std::string_view host, const Snapshot& snap);
+
+/// Renders one host's timeline as a JSON array of event objects:
+/// [{"t_ns": ..., "host": ..., "event": ..., "conn": ..., "detail": ...}].
+std::string timeline_json(std::string_view host, const EventLog& log);
+
+}  // namespace tfo::obs

@@ -1,0 +1,66 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace tfo::obs {
+
+void Histogram::observe(std::uint64_t sample) {
+  const int b = sample == 0 ? 0 : std::bit_width(sample) - 1;
+  ++buckets_[b >= kBuckets ? kBuckets - 1 : b];
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  ++count_;
+  sum_ += sample;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Report the bucket's upper bound, clamped to the observed extremes.
+      const std::uint64_t hi = i >= 63 ? max_ : (std::uint64_t{1} << (i + 1)) - 1;
+      return std::min(std::max(hi, min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t Registry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c.value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, Snapshot::GaugeStats{g.value(), g.max_value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramStats st;
+    st.count = h.count();
+    st.sum = h.sum();
+    st.min = h.min();
+    st.max = h.max();
+    st.mean = h.mean();
+    st.p50 = h.quantile(0.50);
+    st.p99 = h.quantile(0.99);
+    s.histograms.emplace_back(name, st);
+  }
+  return s;
+}
+
+}  // namespace tfo::obs

@@ -1,0 +1,117 @@
+// Lightweight per-host observability registry: named counters, gauges and
+// latency histograms. Motivated by the per-stack measurement methodology
+// of the Plug&Offload line of work (PAPERS.md): subtle bridge/TCP stack
+// interactions — out-of-window segments, merge stalls, takeover latency —
+// only surface when every layer is instrumented. The registry is the
+// system-wide metric namespace; OBSERVABILITY.md lists the names each
+// component publishes.
+//
+// Design constraints:
+//   * hot-path friendly: a component resolves its handles once (a map
+//     lookup at attach time) and then increments through a stable pointer;
+//   * deterministic: iteration order is the lexicographic metric name, so
+//     snapshots and their JSON form are reproducible run-to-run;
+//   * dependency-free: only common/, so every layer (tcp, core, apps,
+//     bench) can link against it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tfo::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Instantaneous level (queue depth, bytes buffered, live connections).
+/// Signed so that add(-delta) bookkeeping cannot wrap; tracks its
+/// high-water mark, the number most queue-depth questions actually need.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_ = v;
+    if (v_ > max_) max_ = v_;
+  }
+  void add(std::int64_t d) { set(v_ + d); }
+  std::int64_t value() const { return v_; }
+  /// High-water mark across the gauge's lifetime.
+  std::int64_t max_value() const { return max_; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Latency/size histogram: power-of-two buckets plus exact count/sum/
+/// min/max, cheap enough for per-segment paths. Bucket i counts samples
+/// in [2^i, 2^(i+1)); bucket 0 additionally holds 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+  /// Approximate quantile (q in [0,1]) from the bucket boundaries.
+  std::uint64_t quantile(double q) const;
+  const std::uint64_t* buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0, sum_ = 0;
+  std::uint64_t min_ = 0, max_ = 0;
+};
+
+/// Point-in-time copy of a registry, detached from the live objects.
+struct Snapshot {
+  struct GaugeStats {
+    std::int64_t value = 0;
+    std::int64_t max = 0;  // high-water mark
+  };
+  struct HistogramStats {
+    std::uint64_t count = 0, sum = 0, min = 0, max = 0;
+    double mean = 0;
+    std::uint64_t p50 = 0, p99 = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeStats>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+};
+
+/// Named metric namespace. Handles returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime (node-based map
+/// storage); the same name always yields the same object.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only lookup: value of a counter, or 0 if never registered.
+  std::uint64_t counter_value(const std::string& name) const;
+  /// Read-only lookup: value of a gauge, or 0 if never registered.
+  std::int64_t gauge_value(const std::string& name) const;
+
+  Snapshot snapshot() const;
+
+ private:
+  // std::map: deterministic order + pointer stability for the handles.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace tfo::obs

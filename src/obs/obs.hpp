@@ -1,0 +1,21 @@
+// Umbrella header: the per-host observability hub. A Hub bundles the
+// metric registry and the failover-timeline event log; apps::Host owns
+// one and hands `Hub*` down to every layer it assembles. Components take
+// a nullable `obs::Hub*` so unit tests can construct them bare.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace tfo::obs {
+
+struct Hub {
+  Registry registry;
+  EventLog timeline;
+
+  Hub() = default;
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+};
+
+}  // namespace tfo::obs

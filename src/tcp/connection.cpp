@@ -453,8 +453,24 @@ void Connection::handle_segment(const TcpSegment& seg) {
     return;
   }
 
-  // --- RST.
+  // --- RST. RFC 793 p.37: a reset is honoured only when its sequence
+  // number falls inside the receive window (seq == RCV.NXT when the
+  // window is zero); anything else is silently discarded, which is also
+  // the blind-reset protection of RFC 5961 §3. Unsolicited resets built
+  // by the failover bridge must therefore carry the client-facing
+  // SND.NXT to take effect.
   if (seg.rst()) {
+    const std::int32_t rst_rel =
+        seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
+    const bool in_window =
+        last_adv_wnd_ == 0
+            ? rst_rel == 0
+            : rst_rel >= 0 && rst_rel < static_cast<std::int32_t>(last_adv_wnd_);
+    if (!in_window) {
+      TFO_LOG(kDebug, "tcp") << key_.str() << " out-of-window RST dropped "
+                             << seg.summary();
+      return;
+    }
     teardown(CloseReason::kReset);
     return;
   }

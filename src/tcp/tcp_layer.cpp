@@ -16,6 +16,24 @@ TcpLayer::TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params,
                         });
 }
 
+void TcpLayer::set_observability(obs::Hub* hub) {
+  obs_ = hub;
+  if (!hub) {
+    ctr_segments_sent_ = ctr_segments_received_ = ctr_segments_malformed_ = nullptr;
+    ctr_rst_sent_ = ctr_conns_opened_ = ctr_conns_accepted_ = nullptr;
+    gau_connections_ = nullptr;
+    return;
+  }
+  auto& reg = hub->registry;
+  ctr_segments_sent_ = &reg.counter("tcp.segments_sent");
+  ctr_segments_received_ = &reg.counter("tcp.segments_received");
+  ctr_segments_malformed_ = &reg.counter("tcp.segments_malformed");
+  ctr_rst_sent_ = &reg.counter("tcp.rst_sent");
+  ctr_conns_opened_ = &reg.counter("tcp.connections_opened");
+  ctr_conns_accepted_ = &reg.counter("tcp.connections_accepted");
+  gau_connections_ = &reg.gauge("tcp.connections");
+}
+
 Seq32 TcpLayer::generate_isn() {
   if (forced_isn_) {
     const Seq32 isn = *forced_isn_;
@@ -68,6 +86,8 @@ std::shared_ptr<Connection> TcpLayer::connect(ip::Ipv4 remote_ip,
   auto conn = std::make_shared<Connection>(*this, key, params_, opts.failover);
   if (opts.nodelay) conn->set_nodelay(true);
   conns_[key] = conn;
+  if (ctr_conns_opened_) ctr_conns_opened_->inc();
+  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   conn->start_active_open();
   return conn;
 }
@@ -111,6 +131,7 @@ void TcpLayer::send_segment(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst) {
 }
 
 void TcpLayer::send_segment_raw(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+  if (ctr_segments_sent_) ctr_segments_sent_->inc();
   ip_.send(ip::Proto::kTcp, src, dst, seg.serialize(src, dst));
 }
 
@@ -133,15 +154,20 @@ void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
 
 void TcpLayer::connection_closed(const ConnKey& key) {
   // Deferred: the connection may be deep in its own call stack.
-  sim_.schedule_after(0, [this, key] { conns_.erase(key); });
+  sim_.schedule_after(0, [this, key] {
+    conns_.erase(key);
+    if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
+  });
 }
 
 void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) {
   auto parsed = TcpSegment::parse(dgram.payload, dgram.src, dgram.dst);
   if (!parsed) {
     TFO_LOG(kDebug, "tcp") << "segment dropped (bad checksum or malformed)";
+    if (ctr_segments_malformed_) ctr_segments_malformed_->inc();
     return;
   }
+  if (ctr_segments_received_) ctr_segments_received_->inc();
   TcpSegment seg = std::move(*parsed);
   ip::Ipv4 src = dgram.src;
   ip::Ipv4 dst = dgram.dst;
@@ -176,6 +202,8 @@ void TcpLayer::handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4
   auto conn = std::make_shared<Connection>(*this, key, params_, it->second.opts.failover);
   if (it->second.opts.nodelay) conn->set_nodelay(true);
   conns_[key] = conn;
+  if (ctr_conns_accepted_) ctr_conns_accepted_->inc();
+  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   // Surface the connection to the application when it completes the
   // handshake (BSD semantics: accept returns an ESTABLISHED socket).
   conn->on_established = [conn_weak = std::weak_ptr<Connection>(conn),
@@ -200,6 +228,7 @@ void TcpLayer::send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
     rst.ack = seq_add(seg.seq, seg.seg_len());
   }
   TFO_LOG(kDebug, "tcp") << "RST for stray segment " << seg.summary();
+  if (ctr_rst_sent_) ctr_rst_sent_->inc();
   send_segment(std::move(rst), dst, src);
 }
 

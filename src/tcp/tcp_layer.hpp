@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "ip/ip_layer.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/connection.hpp"
 #include "tcp/conn_key.hpp"
@@ -97,6 +98,11 @@ class TcpLayer {
   /// Test hook: force the ISN of the next connection created.
   void set_next_isn(Seq32 isn) { forced_isn_ = isn; }
 
+  /// Attaches this layer to a host's observability hub (null detaches).
+  /// Called by apps::Host at construction; standalone layers run bare.
+  void set_observability(obs::Hub* hub);
+  obs::Hub* observability() const { return obs_; }
+
   Seq32 generate_isn();
   std::uint16_t allocate_ephemeral_port();
 
@@ -124,6 +130,18 @@ class TcpLayer {
   TapId next_tap_id_ = 1;
   std::uint16_t next_ephemeral_ = 49152;
   std::optional<Seq32> forced_isn_;
+
+  // Observability handles (null when no hub is attached). The counter
+  // pointers are resolved once in set_observability — the per-segment
+  // paths must not pay a map lookup.
+  obs::Hub* obs_ = nullptr;
+  obs::Counter* ctr_segments_sent_ = nullptr;
+  obs::Counter* ctr_segments_received_ = nullptr;
+  obs::Counter* ctr_segments_malformed_ = nullptr;
+  obs::Counter* ctr_rst_sent_ = nullptr;
+  obs::Counter* ctr_conns_opened_ = nullptr;
+  obs::Counter* ctr_conns_accepted_ = nullptr;
+  obs::Gauge* gau_connections_ = nullptr;
 };
 
 }  // namespace tfo::tcp

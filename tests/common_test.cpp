@@ -119,6 +119,63 @@ TEST(Checksum, IncrementalUpdate32MatchesRecompute) {
   }
 }
 
+TEST(Checksum, IncrementalUpdateNeverEmitsNegativeZero) {
+  // One's-complement zero has two encodings, and RFC 1624 eqn. 3 cannot
+  // always pick the one a full recompute would: the all-zero header has
+  // full checksum 0xFFFF, but rewriting a zero word to zero pushes the
+  // raw formula to 0x0000 — which a receiver summing the wire bytes
+  // would reject. checksum_update16 must normalize that away.
+  Bytes data(20, 0);
+  const std::uint16_t full = inet_checksum(data);
+  EXPECT_EQ(full, 0xffff);
+  EXPECT_EQ(checksum_update16(full, 0, 0), 0xffff);
+  EXPECT_EQ(checksum_update32(full, 0, 0), 0xffff);
+}
+
+TEST(Checksum, IncrementalRewritesVerifyLikeFullRecompute) {
+  // Property, over chains of random 16/32-bit header rewrites (zero words
+  // biased in, to sit on the ±0 boundary): the incrementally maintained
+  // checksum (a) is never the forbidden 0x0000 encoding, (b) agrees with
+  // the full recompute except in the provably ambiguous case where the
+  // full sum is -0, and (c) — the property receivers actually depend on —
+  // the header always verifies with the incremental value in place.
+  Rng rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes data(40);
+    const bool sparse = rng.uniform(0, 3) == 0;  // mostly-zero headers
+    for (auto& b : data) {
+      b = sparse ? 0 : static_cast<std::uint8_t>(rng.next_u32());
+    }
+    std::uint16_t inc = inet_checksum(data);
+    const int rewrites = static_cast<int>(rng.uniform(1, 4));
+    for (int i = 0; i < rewrites; ++i) {
+      const bool zero_biased = rng.uniform(0, 2) == 0;
+      if (rng.uniform(0, 1) == 0) {
+        const std::size_t off = 2 * rng.uniform(0, 19);
+        const std::uint16_t old_w = get_u16(data, off);
+        const std::uint16_t new_w =
+            zero_biased ? 0 : static_cast<std::uint16_t>(rng.next_u32());
+        set_u16(data, off, new_w);
+        inc = checksum_update16(inc, old_w, new_w);
+      } else {
+        const std::size_t off = 4 * rng.uniform(0, 9);
+        const std::uint32_t old_v = get_u32(data, off);
+        const std::uint32_t new_v = zero_biased ? 0 : rng.next_u32();
+        set_u32(data, off, new_v);
+        inc = checksum_update32(inc, old_v, new_v);
+      }
+    }
+    const std::uint16_t full = inet_checksum(data);
+    EXPECT_NE(inc, 0x0000) << "trial " << trial;
+    EXPECT_TRUE(inc == full || (full == 0x0000 && inc == 0xffff))
+        << "trial " << trial << " inc=" << inc << " full=" << full;
+    // Receiver-side check: header bytes plus the checksum sum to -0.
+    Bytes wire = data;
+    put_u16(wire, inc);
+    EXPECT_EQ(inet_checksum(wire), 0) << "trial " << trial;
+  }
+}
+
 // ----------------------------------------------------------------- stats
 
 TEST(Sampler, MedianMaxPercentile) {

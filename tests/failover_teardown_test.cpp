@@ -108,6 +108,89 @@ TEST(Teardown, StraySecondaryFinIsAckedBackToSecondary) {
   }), 1u);
 }
 
+TEST(Teardown, StrayFinReplySequenceComesFromSendersAck) {
+  // The manufactured ACK is unsolicited, so its sequence number must sit
+  // in the FIN sender's receive window. The only reconstructable
+  // in-window value is the stray FIN's own ACK field (the sender's
+  // RCV.NXT) — a seq=0 fabrication would be silently discarded by a
+  // conforming peer.
+  auto r = make_replicated_lan();
+  const tcp::ConnKey key = run_full_session(*r);
+
+  apps::FrameTracer at_client(r->sim(), r->client().nic());
+  tcp::TcpSegment fin;
+  fin.src_port = key.remote_port;
+  fin.dst_port = key.local_port;
+  fin.seq = 123456;
+  fin.ack = 654321;
+  fin.flags = tcp::Flags::kFin | tcp::Flags::kAck;
+  fin.window = 65535;
+  r->client().ip().send(ip::Proto::kTcp, r->client().address(),
+                        r->primary().address(),
+                        fin.serialize(r->client().address(), r->primary().address()));
+  r->sim().run_for(milliseconds(50));
+
+  EXPECT_GE(at_client.count([&](const apps::TraceRecord& rec) {
+    return rec.has_tcp && rec.src_ip == r->primary().address() &&
+           (rec.flags & tcp::Flags::kAck) && rec.seq == 654321 &&
+           rec.ack == seq_add(123456, 1);
+  }), 1u);
+}
+
+TEST(Teardown, StrayClientFinWithoutAckIsSuppressed) {
+  // A stray FIN with no ACK flag gives the bridge nothing to anchor an
+  // in-window reply on: it must stay silent (no fabricated seq=0 ACK,
+  // and certainly no RST) and count the suppression.
+  auto r = make_replicated_lan();
+  const tcp::ConnKey key = run_full_session(*r);
+
+  apps::FrameTracer at_client(r->sim(), r->client().nic());
+  tcp::TcpSegment fin;
+  fin.src_port = key.remote_port;
+  fin.dst_port = key.local_port;
+  fin.seq = 123456;
+  fin.flags = tcp::Flags::kFin;  // no ACK: nothing usable for a reply
+  fin.window = 65535;
+  r->client().ip().send(ip::Proto::kTcp, r->client().address(),
+                        r->primary().address(),
+                        fin.serialize(r->client().address(), r->primary().address()));
+  r->sim().run_for(milliseconds(50));
+
+  EXPECT_EQ(at_client.count([&](const apps::TraceRecord& rec) {
+    return rec.has_tcp && rec.src_ip == r->primary().address() &&
+           rec.dst_port == key.remote_port;
+  }), 0u);
+  EXPECT_GE(r->primary().obs().registry.counter_value("bridge.stray_fin_suppressed"),
+            1u);
+  EXPECT_EQ(r->group->primary_bridge().stray_fin_acks(), 0u);
+}
+
+TEST(Teardown, StraySecondaryFinWithoutAckIsSuppressed) {
+  // Same rule on the diverted path: the secondary's FIN retransmission
+  // without an ACK field gets no manufactured reply.
+  auto r = make_replicated_lan();
+  const tcp::ConnKey key = run_full_session(*r);
+
+  apps::FrameTracer at_secondary(r->sim(), r->secondary().nic());
+  tcp::TcpSegment fin;
+  fin.src_port = key.local_port;   // server port
+  fin.dst_port = key.remote_port;  // client port
+  fin.seq = 99999;
+  fin.flags = tcp::Flags::kFin;  // no ACK
+  fin.orig_dst = key.remote_ip;
+  r->secondary().ip().send(
+      ip::Proto::kTcp, r->secondary().address(), r->primary().address(),
+      fin.serialize(r->secondary().address(), r->primary().address()));
+  r->sim().run_for(milliseconds(50));
+
+  EXPECT_EQ(at_secondary.count([&](const apps::TraceRecord& rec) {
+    return rec.has_tcp && rec.dst_ip == r->secondary().address() &&
+           rec.dst_port == key.local_port;
+  }), 0u);
+  EXPECT_GE(r->primary().obs().registry.counter_value("bridge.stray_fin_suppressed"),
+            1u);
+}
+
 TEST(Teardown, CloseRacingPrimaryCrashStillCompletes) {
   auto r = make_replicated_lan();
   test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 4000, 1000);
@@ -237,6 +320,55 @@ TEST(Divergence, DifferentReplyLengthsDetectedAtFinMismatch) {
     return r->group->primary_bridge().divergences() > 0;
   }, seconds(60)));
   EXPECT_GE(r->group->primary_bridge().divergences(), 1u);
+}
+
+TEST(Divergence, ResetCarriesInWindowSequence) {
+  // The divergence RST is unsolicited, so RFC 793 requires its sequence
+  // number to be the client-facing SND.NXT — the client silently discards
+  // out-of-window resets (the simulated client enforces this), so a
+  // seq=0 RST would leave it hanging until its own timers give up.
+  auto r = make_replicated_lan({}, {}, /*with_echo=*/false);
+  TaggedEchoServer bad_p(r->primary().tcp(), kEchoPort, "P!");
+  TaggedEchoServer bad_s(r->secondary().tcp(), kEchoPort, "S!");
+
+  apps::FrameTracer at_client(r->sim(), r->client().nic());
+  apps::FrameTracer at_primary(r->sim(), r->primary().nic());
+  auto conn = r->client().tcp().connect(r->primary().address(), kEchoPort,
+                                        {.nodelay = true});
+  bool reset = false;
+  conn->on_closed = [&](tcp::CloseReason reason) {
+    reset = (reason == tcp::CloseReason::kReset);
+  };
+  conn->on_established = [&] { conn->send(to_bytes("which replica am I?")); };
+  ASSERT_TRUE(run_until(r->sim(), [&] { return reset; }, seconds(60)));
+
+  // The client's outgoing ACK field is its RCV.NXT in wire terms — the
+  // exact value an in-window unsolicited segment must carry. The client
+  // delivered no data, so every post-handshake ACK it sent names the
+  // same value.
+  std::uint32_t client_rcv_nxt = 0;
+  bool have_ack = false;
+  for (const auto& rec : at_primary.records()) {
+    if (rec.has_tcp && rec.src_ip == r->client().address() &&
+        rec.dst_port == kEchoPort && (rec.flags & tcp::Flags::kAck)) {
+      client_rcv_nxt = rec.ack;
+      have_ack = true;
+    }
+  }
+  ASSERT_TRUE(have_ack);
+
+  std::size_t rsts = 0;
+  for (const auto& rec : at_client.records()) {
+    if (rec.has_tcp && rec.dst_ip == r->client().address() &&
+        (rec.flags & tcp::Flags::kRst)) {
+      ++rsts;
+      EXPECT_EQ(rec.seq, client_rcv_nxt) << "RST outside the client's window";
+    }
+  }
+  EXPECT_GE(rsts, 1u);
+  // The timeline records the divergence for the post-mortem.
+  EXPECT_GE(r->primary().obs().timeline.filter(obs::EventKind::kDivergence).size(),
+            1u);
 }
 
 TEST(Divergence, DeterministicReplicasNeverTrigger) {

@@ -161,5 +161,153 @@ TEST_P(DivergenceProperty, CorruptOverlapAlwaysCaught) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DivergenceProperty, ::testing::Values(1, 2, 3, 4));
 
+// ---------------------------------------------------------- coalescing
+
+TEST(OutputQueue, AbuttingRunsCoalesceIntoOne) {
+  // Three runs inserted back-to-front, each exactly abutting the next:
+  // the queue must store them as a single run (contiguous_at spans all).
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(20, seq_bytes(20, 10)));
+  ASSERT_TRUE(q.insert(10, seq_bytes(10, 10)));
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+  EXPECT_EQ(q.contiguous_at(0), 30u);
+  EXPECT_EQ(q.total_bytes(), 30u);
+  EXPECT_EQ(q.min_offset(), 0u);
+  EXPECT_EQ(q.max_end(), 30u);
+}
+
+TEST(OutputQueue, InsertBridgingTwoRunsCoalescesAll) {
+  // [0,5) and [8,12) exist; inserting [4,9) touches both ends and must
+  // union everything into [0,12) with correct totals.
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 5)));
+  ASSERT_TRUE(q.insert(8, seq_bytes(8, 4)));
+  EXPECT_EQ(q.total_bytes(), 9u);
+  ASSERT_TRUE(q.insert(4, seq_bytes(4, 5)));
+  EXPECT_EQ(q.contiguous_at(0), 12u);
+  EXPECT_EQ(q.total_bytes(), 12u);
+  EXPECT_EQ(q.extract(0, 12), seq_bytes(0, 12));
+}
+
+TEST(OutputQueue, InsertAbuttingOnlyLeftDoesNotBridgeGap) {
+  OutputQueue q;
+  ASSERT_TRUE(q.insert(0, seq_bytes(0, 5)));
+  ASSERT_TRUE(q.insert(10, seq_bytes(10, 5)));
+  ASSERT_TRUE(q.insert(5, seq_bytes(5, 3)));  // abuts left run only
+  EXPECT_EQ(q.contiguous_at(0), 8u);
+  EXPECT_EQ(q.contiguous_at(10), 5u);
+  EXPECT_EQ(q.total_bytes(), 13u);
+}
+
+// ------------------------------------------------------ gauge binding
+
+TEST(OutputQueue, GaugesTrackTotalsByDelta) {
+  obs::Gauge bytes, depth;
+  {
+    OutputQueue q;
+    q.bind_gauges(&bytes, &depth);
+    ASSERT_TRUE(q.insert(0, seq_bytes(0, 10)));
+    ASSERT_TRUE(q.insert(20, seq_bytes(20, 5)));
+    EXPECT_EQ(bytes.value(), 15);
+    EXPECT_EQ(depth.value(), 2);
+    q.drop_below(5);
+    EXPECT_EQ(bytes.value(), 10);
+    (void)q.extract(20, 5);
+    EXPECT_EQ(bytes.value(), 5);
+    EXPECT_EQ(depth.value(), 1);
+    EXPECT_EQ(bytes.max_value(), 15);
+  }
+  // Destruction retires the queue's remaining contribution.
+  EXPECT_EQ(bytes.value(), 0);
+  EXPECT_EQ(depth.value(), 0);
+}
+
+TEST(OutputQueue, SharedGaugeAggregatesAcrossQueues) {
+  obs::Gauge bytes;
+  OutputQueue a, b;
+  a.bind_gauges(&bytes, nullptr);
+  b.bind_gauges(&bytes, nullptr);
+  ASSERT_TRUE(a.insert(0, seq_bytes(0, 7)));
+  ASSERT_TRUE(b.insert(0, seq_bytes(0, 3)));
+  EXPECT_EQ(bytes.value(), 10);
+  a.clear();
+  EXPECT_EQ(bytes.value(), 3);
+}
+
+// ------------------------------------------- interleaved-operation fuzz
+
+// Property: under random interleavings of insert / extract / drop_below,
+// the queue agrees with a flat-buffer oracle on total_bytes, contiguous
+// runs, and extracted content. This is the bookkeeping the bridge gauges
+// publish, so drift here would silently corrupt the metrics too.
+class OutputQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OutputQueueFuzz, MatchesFlatBufferOracle) {
+  Rng rng(GetParam() * 7919 + 13);
+  constexpr std::uint64_t kStream = 1024;
+  OutputQueue q;
+  obs::Gauge gauge_bytes, gauge_depth;
+  q.bind_gauges(&gauge_bytes, &gauge_depth);
+  std::vector<bool> present(kStream, false);  // oracle: which offsets held
+
+  auto oracle_total = [&] {
+    return static_cast<std::size_t>(
+        std::count(present.begin(), present.end(), true));
+  };
+  auto oracle_contig = [&](std::uint64_t off) {
+    std::size_t n = 0;
+    while (off + n < kStream && present[off + n]) ++n;
+    return n;
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t dice = rng.uniform(0, 9);
+    if (dice < 5) {  // insert a consistent fragment
+      const std::uint64_t off = rng.uniform(0, kStream - 1);
+      const std::size_t len = static_cast<std::size_t>(
+          rng.uniform(1, std::min<std::uint64_t>(48, kStream - off)));
+      ASSERT_TRUE(q.insert(off, seq_bytes(off, len)));
+      for (std::uint64_t i = off; i < off + len; ++i) present[i] = true;
+    } else if (dice < 8) {  // extract a prefix of some present run
+      const std::uint64_t probe = rng.uniform(0, kStream - 1);
+      const std::size_t avail = oracle_contig(probe);
+      ASSERT_EQ(q.contiguous_at(probe), avail) << "probe " << probe;
+      if (avail > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            rng.uniform(1, static_cast<std::uint64_t>(avail)));
+        ASSERT_EQ(q.extract(probe, n), seq_bytes(probe, n));
+        for (std::uint64_t i = probe; i < probe + n; ++i) present[i] = false;
+      }
+    } else {  // drop everything below a random offset
+      const std::uint64_t off = rng.uniform(0, kStream);
+      q.drop_below(off);
+      for (std::uint64_t i = 0; i < off && i < kStream; ++i) present[i] = false;
+    }
+
+    ASSERT_EQ(q.total_bytes(), oracle_total()) << "step " << step;
+    ASSERT_EQ(gauge_bytes.value(),
+              static_cast<std::int64_t>(q.total_bytes())) << "step " << step;
+    // Spot-check run boundaries at random probes.
+    for (int p = 0; p < 4; ++p) {
+      const std::uint64_t probe = rng.uniform(0, kStream - 1);
+      ASSERT_EQ(q.contiguous_at(probe), oracle_contig(probe))
+          << "step " << step << " probe " << probe;
+    }
+  }
+  // Drain and confirm the content is exactly the oracle's.
+  for (std::uint64_t off = 0; off < kStream; ++off) {
+    if (!present[off]) continue;
+    const std::size_t n = oracle_contig(off);
+    ASSERT_EQ(q.extract(off, n), seq_bytes(off, n));
+    for (std::uint64_t i = off; i < off + n; ++i) present[i] = false;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(gauge_bytes.value(), 0);
+  EXPECT_EQ(gauge_depth.value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutputQueueFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
 }  // namespace
 }  // namespace tfo::core
