@@ -23,8 +23,11 @@ namespace {
 
 double send_rate_with_slow_secondary(SimDuration extra_proc) {
   apps::LanParams lp = paper_lan_params();
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::SinkServer> s1, s2;
-  auto t = make_testbed(true, [&](apps::Host& h) {
+  t = make_testbed(true, [&](apps::Host& h) {
     auto s = std::make_unique<apps::SinkServer>(h.tcp(), kPort);
     (s1 ? s2 : s1) = std::move(s);
   }, lp);
@@ -63,9 +66,12 @@ double send_rate_with_slow_secondary(SimDuration extra_proc) {
 // ------------------------------------------------------------------- B
 
 std::size_t peak_queue_bytes(std::size_t reply_size, SimDuration secondary_delack) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::BlastServer> b1, b2;
   apps::LanParams lp = paper_lan_params();
-  auto t = make_testbed(true, [&](apps::Host& h) {
+  t = make_testbed(true, [&](apps::Host& h) {
     auto b = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
     (b1 ? b2 : b1) = std::move(b);
   }, lp);
@@ -113,8 +119,11 @@ bool takeover_succeeds(int repeats, double loss, std::uint64_t seed) {
   cfg.heartbeat_period = milliseconds(5);
   cfg.failure_timeout = milliseconds(100);
   cfg.gratuitous_arp_repeats = repeats;
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::EchoServer> e1, e2;
-  auto t = make_testbed(true, [&](apps::Host& h) {
+  t = make_testbed(true, [&](apps::Host& h) {
     auto e = std::make_unique<apps::EchoServer>(h.tcp(), kPort);
     (e1 ? e2 : e1) = std::move(e);
   }, lp, cfg);
@@ -132,8 +141,11 @@ bool takeover_succeeds(int repeats, double loss, std::uint64_t seed) {
 double receive_rate_kbs(bool failover, bool half_duplex) {
   apps::LanParams lp = paper_lan_params();
   lp.medium.half_duplex = half_duplex;
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::BlastServer> b1, b2;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto b = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
     (b1 ? b2 : b1) = std::move(b);
   }, lp);

@@ -13,8 +13,11 @@ struct Result {
 };
 
 Result measure(bool failover, int samples) {
+  // Declared before the accepted-connection holder: the LAN (and its
+  // simulator) must outlive the connections at scope exit.
+  Testbed t;
   std::vector<std::shared_ptr<tcp::Connection>> held;
-  auto t = make_testbed(failover, [&held](apps::Host& h) {
+  t = make_testbed(failover, [&held](apps::Host& h) {
     h.tcp().listen(kPort, [&held](std::shared_ptr<tcp::Connection> c) {
       held.push_back(std::move(c));
     });

@@ -24,8 +24,11 @@ FailoverMeasurement measure(SimDuration fd_timeout, SimDuration arp_latency,
   cfg.heartbeat_period = std::max<SimDuration>(fd_timeout / 5, milliseconds(1));
   cfg.failure_timeout = fd_timeout;
 
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::EchoServer> e1, e2;
-  auto t = make_testbed(true, [&](apps::Host& h) {
+  t = make_testbed(true, [&](apps::Host& h) {
     auto e = std::make_unique<apps::EchoServer>(h.tcp(), kPort);
     (e1 ? e2 : e1) = std::move(e);
   }, lp, cfg);

@@ -12,8 +12,11 @@ namespace tfo::bench {
 namespace {
 
 double median_send_time_us(bool failover, std::size_t msg_size, int samples) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::SinkServer> sink_p, sink_s;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto sink = std::make_unique<apps::SinkServer>(h.tcp(), kPort);
     (sink_p ? sink_s : sink_p) = std::move(sink);
   });

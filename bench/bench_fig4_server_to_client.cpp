@@ -11,8 +11,11 @@ namespace tfo::bench {
 namespace {
 
 double median_reply_time_us(bool failover, std::size_t reply_size, int samples) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::BlastServer> blast_p, blast_s;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto blast = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
     (blast_p ? blast_s : blast_p) = std::move(blast);
   });

@@ -20,8 +20,11 @@ namespace {
 constexpr std::size_t kStreamBytes = 100 * 1000 * 1000;
 
 double send_rate_kbs(bool failover) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::SinkServer> s1, s2;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto s = std::make_unique<apps::SinkServer>(h.tcp(), kPort);
     (s1 ? s2 : s1) = std::move(s);
   });
@@ -52,8 +55,11 @@ double send_rate_kbs(bool failover) {
 }
 
 double receive_rate_kbs(bool failover) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::BlastServer> b1, b2;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto b = std::make_unique<apps::BlastServer>(h.tcp(), kPort);
     (b1 ? b2 : b1) = std::move(b);
   });

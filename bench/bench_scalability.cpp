@@ -10,8 +10,11 @@ namespace tfo::bench {
 namespace {
 
 double aggregate_rate_kbs(bool failover, int conns) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::EchoServer> e1, e2;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto e = std::make_unique<apps::EchoServer>(h.tcp(), kPort);
     (e1 ? e2 : e1) = std::move(e);
   });
@@ -36,8 +39,11 @@ double aggregate_rate_kbs(bool failover, int conns) {
 }
 
 double churn_per_second(bool failover, int sessions) {
+  // Declared before the servers: the LAN (and its simulator) must
+  // outlive the servers' connections at scope exit.
+  Testbed t;
   std::unique_ptr<apps::EchoServer> e1, e2;
-  auto t = make_testbed(failover, [&](apps::Host& h) {
+  t = make_testbed(failover, [&](apps::Host& h) {
     auto e = std::make_unique<apps::EchoServer>(h.tcp(), kPort);
     (e1 ? e2 : e1) = std::move(e);
   });
@@ -48,8 +54,10 @@ double churn_per_second(bool failover, int sessions) {
   for (int i = 0; i < sessions; ++i) {
     auto conn = t.client().tcp().connect(t.server_addr(), kPort, {.nodelay = true});
     Bytes got;
-    conn->on_established = [conn] { conn->send(to_bytes("hi")); };
-    conn->on_readable = [&got, conn] { conn->recv(got); };
+    // Raw captures: a shared_ptr self-capture in the connection's own
+    // callbacks is an ownership cycle and leaks one connection per session.
+    conn->on_established = [c = conn.get()] { c->send(to_bytes("hi")); };
+    conn->on_readable = [&got, c = conn.get()] { c->recv(got); };
     if (!t.run_until([&] { return got.size() == 2; }, seconds(30))) break;
     conn->close();
     if (!t.run_until([&] {

@@ -95,6 +95,27 @@ def _check_timeline(host, timeline):
         prev_t = ev["t_ns"]
 
 
+def _check_profiles(profiles):
+    _expect(isinstance(profiles, list) and profiles,
+            "'profiles' must be a non-empty list when present")
+    for i, p in enumerate(profiles):
+        _expect(isinstance(p, dict), f"profiles[{i}] is not an object")
+        for key in ("name", "seed", "params", "oracles"):
+            _expect(key in p, f"profiles[{i}] missing '{key}'")
+        _expect(isinstance(p["name"], str) and p["name"],
+                f"profiles[{i}].name is not a non-empty string")
+        _expect(isinstance(p["seed"], int) and p["seed"] >= 0,
+                f"profiles[{i}].seed is not a non-negative int")
+        _expect(isinstance(p["params"], dict),
+                f"profiles[{i}].params is not an object")
+        oracles = p["oracles"]
+        _expect(isinstance(oracles, dict) and oracles,
+                f"profiles[{i}].oracles is not a non-empty object")
+        for name, v in oracles.items():
+            _expect(isinstance(v, bool),
+                    f"profiles[{i}].oracles['{name}'] is not a bool")
+
+
 def check_document(doc):
     """Raises SchemaError when `doc` violates the bench artifact schema."""
     _expect(isinstance(doc, dict), "top level is not an object")
@@ -118,6 +139,8 @@ def check_document(doc):
             _expect(key in host_obj, f"host '{host}' missing '{key}'")
         _check_metrics(host, host_obj["metrics"])
         _check_timeline(host, host_obj["timeline"])
+    if "profiles" in doc:
+        _check_profiles(doc["profiles"])
 
 
 def check_file(path):
@@ -133,8 +156,13 @@ def check_file(path):
         print(f"FAIL {path}: {e}")
         return False
     n_events = sum(len(h["timeline"]) for h in doc["hosts"])
+    extra = ""
+    if "profiles" in doc:
+        n_red = sum(not all(p["oracles"].values()) for p in doc["profiles"])
+        extra = (f", {len(doc['profiles'])} profile(s)"
+                 + (f" ({n_red} with red oracles)" if n_red else ""))
     print(f"OK   {path}: bench '{doc['bench']}', {len(doc['tables'])} table(s), "
-          f"{len(doc['hosts'])} host(s), {n_events} timeline event(s)")
+          f"{len(doc['hosts'])} host(s), {n_events} timeline event(s){extra}")
     return True
 
 
@@ -160,6 +188,12 @@ def self_test():
                  "conn": "", "detail": ""},
             ],
         }],
+        "profiles": [{
+            "name": "uniform2_steady",
+            "seed": 101,
+            "params": {"loss": 0.02},
+            "oracles": {"stream_intact": True, "conserved": True},
+        }],
     }
     check_document(good)
 
@@ -177,6 +211,11 @@ def self_test():
         ("gauge missing max", lambda d: d["hosts"][0]["metrics"]["gauges"].update(
             {"bridge.connections": {"value": 1}})),
         ("empty hosts", lambda d: d.update(hosts=[])),
+        ("profiles not a list", lambda d: d.update(profiles={})),
+        ("profile missing name", lambda d: d["profiles"][0].pop("name")),
+        ("profile negative seed", lambda d: d["profiles"][0].update(seed=-1)),
+        ("profile non-bool oracle", lambda d: d["profiles"][0]["oracles"].update(
+            {"stream_intact": "yes"})),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)

@@ -14,6 +14,7 @@ Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
       sim_, *nic_, [this] { return ip_->local_addresses(); }, params_.arp);
   ip_->add_interface({nic_.get(), arp_.get(), params_.addr, params_.prefix_len});
   tcp_ = std::make_unique<tcp::TcpLayer>(sim_, *ip_, params_.tcp, params_.seed);
+  ip_->set_observability(&obs_);
   tcp_->set_observability(&obs_);
 
   nic_->set_rx_handler([this](const net::EthernetFrame& frame, bool to_us) {

@@ -79,8 +79,8 @@ HeartbeatMesh::HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration t
                                               const ip::RxMeta&) {
         if (w.expired() || !running_) return;
         for (auto& peer : peers_) {
-          if (peer.addr == d.src && !peer.declared) {
-            arm(peer);
+          if (peer->addr == d.src && !peer->declared) {
+            arm(*peer);
             return;
           }
         }
@@ -90,28 +90,32 @@ HeartbeatMesh::HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration t
 HeartbeatMesh::~HeartbeatMesh() { alive_.reset(); }
 
 void HeartbeatMesh::watch(ip::Ipv4 peer, std::function<void()> on_failed) {
-  Peer p;
-  p.addr = peer;
-  p.on_failed = std::move(on_failed);
-  p.deadline = std::make_unique<sim::Timer>(host_.simulator());
+  auto p = std::make_unique<Peer>();
+  p->addr = peer;
+  p->on_failed = std::move(on_failed);
+  p->deadline = std::make_unique<sim::Timer>(host_.simulator());
   peers_.push_back(std::move(p));
+  // A peer registered after the mesh started (reintegration) would never
+  // get a deadline until its first heartbeat arrived — a permanently
+  // silent peer would go undetected. Arm it now.
+  if (running_) arm(*peers_.back());
 }
 
 void HeartbeatMesh::start() {
   running_ = true;
   send_heartbeats();
-  for (auto& peer : peers_) arm(peer);
+  for (auto& peer : peers_) arm(*peer);
 }
 
 void HeartbeatMesh::stop() {
   running_ = false;
   send_timer_.stop();
-  for (auto& peer : peers_) peer.deadline->stop();
+  for (auto& peer : peers_) peer->deadline->stop();
 }
 
 bool HeartbeatMesh::peer_failed(ip::Ipv4 peer) const {
   for (const auto& p : peers_) {
-    if (p.addr == peer) return p.declared;
+    if (p->addr == peer) return p->declared;
   }
   return false;
 }
@@ -119,8 +123,8 @@ bool HeartbeatMesh::peer_failed(ip::Ipv4 peer) const {
 void HeartbeatMesh::send_heartbeats() {
   if (!running_) return;
   for (const auto& peer : peers_) {
-    if (!peer.declared) {
-      host_.ip().send(ip::Proto::kHeartbeat, ip::Ipv4::any(), peer.addr,
+    if (!peer->declared) {
+      host_.ip().send(ip::Proto::kHeartbeat, ip::Ipv4::any(), peer->addr,
                       to_bytes("HB"));
     }
   }
@@ -128,6 +132,8 @@ void HeartbeatMesh::send_heartbeats() {
 }
 
 void HeartbeatMesh::arm(Peer& peer) {
+  // `peer` lives in stable unique_ptr storage (see peers_), so capturing
+  // the raw pointer across later watch() calls is safe.
   Peer* p = &peer;
   peer.deadline->start(timeout_, [this, p] {
     if (p->declared) return;

@@ -67,7 +67,8 @@ class HeartbeatMesh {
   HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration timeout);
   ~HeartbeatMesh();
 
-  /// Registers a peer to watch. Call before start().
+  /// Registers a peer to watch. May be called after start() (e.g. when a
+  /// repaired member reintegrates); the new peer's deadline arms at once.
   void watch(ip::Ipv4 peer, std::function<void()> on_failed);
 
   void start();
@@ -88,7 +89,10 @@ class HeartbeatMesh {
   apps::Host& host_;
   SimDuration period_;
   SimDuration timeout_;
-  std::vector<Peer> peers_;
+  /// Peers get stable heap storage: armed deadline callbacks capture a
+  /// `Peer*`, and a `watch()` issued after timers are armed (reintegration)
+  /// must not invalidate it by reallocating the vector.
+  std::vector<std::unique_ptr<Peer>> peers_;
   sim::Timer send_timer_;
   bool running_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

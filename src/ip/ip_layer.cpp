@@ -17,6 +17,15 @@ void IpLayer::set_default_gateway(Ipv4 gateway, std::size_t iface_idx) {
   default_gw_ = {gateway, iface_idx};
 }
 
+void IpLayer::set_observability(obs::Hub* hub) {
+  if (!hub) {
+    ctr_parse_failed_ = nullptr;
+    return;
+  }
+  ctr_parse_failed_ = &hub->registry.counter("ip.datagrams_parse_failed");
+  ctr_parse_failed_->inc(rx_parse_failed_);
+}
+
 std::vector<Ipv4> IpLayer::local_addresses() const {
   std::vector<Ipv4> out;
   out.reserve(interfaces_.size() + aliases_.size());
@@ -92,6 +101,8 @@ void IpLayer::handle_frame(const net::EthernetFrame& frame, bool to_our_mac) {
   auto parsed = IpDatagram::parse(frame.payload);
   if (!parsed) {
     ++rx_dropped_;
+    ++rx_parse_failed_;
+    if (ctr_parse_failed_) ctr_parse_failed_->inc();
     return;
   }
   IpDatagram dgram = std::move(*parsed);

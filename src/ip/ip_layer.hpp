@@ -20,6 +20,7 @@
 #include "ip/arp.hpp"
 #include "ip/datagram.hpp"
 #include "net/nic.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace tfo::ip {
@@ -95,6 +96,14 @@ class IpLayer {
   std::uint64_t datagrams_sent() const { return tx_count_; }
   std::uint64_t datagrams_delivered() const { return rx_delivered_; }
   std::uint64_t datagrams_dropped() const { return rx_dropped_; }
+  /// Frames rejected by header validation (bad checksum, malformed) —
+  /// unlike `datagrams_dropped`, never incremented for routing decisions,
+  /// so it cleanly witnesses corrupted frames caught at the receive path.
+  std::uint64_t datagrams_parse_failed() const { return rx_parse_failed_; }
+
+  /// Attaches this layer to a host's observability hub (null detaches);
+  /// mirrors parse failures as `ip.datagrams_parse_failed`.
+  void set_observability(obs::Hub* hub);
 
  private:
   struct Route {
@@ -116,6 +125,8 @@ class IpLayer {
   bool forwarding_ = false;
   std::uint16_t next_ip_id_ = 1;
   std::uint64_t tx_count_ = 0, rx_delivered_ = 0, rx_dropped_ = 0;
+  std::uint64_t rx_parse_failed_ = 0;
+  obs::Counter* ctr_parse_failed_ = nullptr;
 };
 
 }  // namespace tfo::ip

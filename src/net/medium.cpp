@@ -8,15 +8,41 @@
 
 namespace tfo::net {
 
+namespace {
+
+/// Folds the legacy loss knobs into the impairment pipeline: the old
+/// `loss_probability`/`loss_seed` pair configures the uniform-loss stage
+/// and its seed, preserving the pre-pipeline drop schedules bit-for-bit.
+ImpairmentParams fold_legacy_loss(ImpairmentParams ip, double loss_probability,
+                                  std::uint64_t loss_seed) {
+  if (loss_probability > 0.0) {
+    if (ip.loss == 0.0) ip.loss = loss_probability;
+    ip.seed = loss_seed;
+  }
+  return ip;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- Shared
 
 SharedMedium::SharedMedium(sim::Simulator& sim, SharedMediumParams params)
-    : sim_(sim), params_(params), loss_rng_(params.loss_seed) {}
+    : sim_(sim),
+      params_(params),
+      impairment_(fold_legacy_loss(params.impairment, params.loss_probability,
+                                   params.loss_seed)) {}
 
 void SharedMedium::attach(Nic* nic) { nics_.push_back(nic); }
 
 void SharedMedium::detach(Nic* nic) {
   nics_.erase(std::remove(nics_.begin(), nics_.end(), nic), nics_.end());
+  // A full-duplex port's busy state dies with its NIC: a later attach that
+  // reuses the allocation must not inherit another port's schedule.
+  tx_busy_until_.erase(nic);
+}
+
+bool SharedMedium::is_attached(const Nic* nic) const {
+  return std::find(nics_.begin(), nics_.end(), nic) != nics_.end();
 }
 
 SimDuration SharedMedium::wire_time(const EthernetFrame& f) const {
@@ -52,21 +78,61 @@ void SharedMedium::transmit(Nic* sender, EthernetFrame frame) {
 
 void SharedMedium::deliver(Nic* sender, const EthernetFrame& frame) {
   // Snapshot: a receive handler may attach/detach NICs (e.g. failover).
-  const std::vector<Nic*> nics = nics_;
-  for (Nic* nic : nics) {
+  // Membership is re-checked per delivery below — an earlier receiver in
+  // this very pass may have detached (and destroyed) a later one.
+  const std::vector<Nic*> snapshot = nics_;
+  // The sender may itself have detached — or been destroyed by a host
+  // kill — while the frame was in flight; it is only safe to dereference
+  // while still attached. (The raw pointer is still used for the
+  // self-delivery comparison, which never dereferences.)
+  Nic* live_sender = is_attached(sender) ? sender : nullptr;
+  for (Nic* nic : snapshot) {
     if (nic == sender) continue;
-    if (loss_fn_ && loss_fn_(*sender, *nic, frame)) continue;
-    if (params_.loss_probability > 0.0 && loss_rng_.bernoulli(params_.loss_probability)) {
+    if (!is_attached(nic)) {
+      ++drops_detached_;
       continue;
     }
-    nic->deliver(frame);
+    // Targeted loss rules need the sending NIC; with the sender gone the
+    // frame is past targeting and falls through to the pipeline.
+    if (loss_fn_ && live_sender && loss_fn_(*live_sender, *nic, frame)) continue;
+    Impairment::Plan plan = impairment_.plan(live_sender, *nic, frame);
+    for (const Impairment::Copy& copy : plan.copies) {
+      if (copy.extra_delay <= 0 && !copy.corrupted) {
+        deliver_copy(nic, frame, plan.tracked);
+        continue;
+      }
+      EthernetFrame f = copy.corrupted ? impairment_.corrupt_frame(frame) : frame;
+      if (copy.extra_delay <= 0) {
+        deliver_copy(nic, f, plan.tracked);
+      } else {
+        sim_.schedule_after(copy.extra_delay,
+                            [this, nic, f = std::move(f), tracked = plan.tracked] {
+                              deliver_copy(nic, f, tracked);
+                            });
+      }
+    }
   }
+}
+
+void SharedMedium::deliver_copy(Nic* receiver, const EthernetFrame& frame,
+                                bool tracked) {
+  // Delayed copies resolve the receiver again at their own delivery time.
+  if (!is_attached(receiver)) {
+    ++drops_detached_;
+    if (tracked) impairment_.note_detached();
+    return;
+  }
+  if (tracked) impairment_.note_delivered();
+  receiver->deliver(frame);
 }
 
 // ---------------------------------------------------------- PointToPoint
 
 PointToPointLink::PointToPointLink(sim::Simulator& sim, PointToPointParams params)
-    : sim_(sim), params_(params), loss_rng_(params.loss_seed) {}
+    : sim_(sim),
+      params_(params),
+      impairment_(fold_legacy_loss(params.impairment, params.loss_probability,
+                                   params.loss_seed)) {}
 
 void PointToPointLink::attach(Nic* nic) {
   if (ends_[0] == nullptr) {
@@ -98,23 +164,45 @@ void PointToPointLink::transmit(Nic* sender, EthernetFrame frame) {
   if (peer == nullptr) return;
 
   Direction& dir = dir_[side];
-  if (dir.in_flight >= params_.queue_limit) {
-    ++drops_queue_;
-    return;
-  }
-  if (params_.loss_probability > 0.0 && loss_rng_.bernoulli(params_.loss_probability)) {
+  Impairment::Plan plan = impairment_.plan(sender, *peer, frame);
+  if (plan.copies.empty()) {
     ++drops_loss_;
     return;
   }
   const SimDuration tx = wire_time(frame);
   const SimTime start = std::max(sim_.now(), dir.busy_until);
-  dir.busy_until = start + static_cast<SimTime>(tx);
-  ++dir.in_flight;
-  const SimTime arrive = dir.busy_until + static_cast<SimTime>(params_.propagation);
-  sim_.schedule_at(arrive, [this, side, peer, f = std::move(frame)] {
-    --dir_[side].in_flight;
-    peer->deliver(f);
-  });
+  bool occupied_wire = false;
+  for (const Impairment::Copy& copy : plan.copies) {
+    // Each copy occupies a queue slot until its own arrival.
+    if (dir.in_flight >= params_.queue_limit) {
+      ++drops_queue_;
+      if (plan.tracked) impairment_.note_detached();
+      continue;
+    }
+    if (!occupied_wire) {
+      dir.busy_until = start + static_cast<SimTime>(tx);
+      occupied_wire = true;
+    }
+    ++dir.in_flight;
+    EthernetFrame f = copy.corrupted ? impairment_.corrupt_frame(frame) : frame;
+    const SimTime arrive = dir.busy_until + static_cast<SimTime>(params_.propagation) +
+                           static_cast<SimTime>(copy.extra_delay);
+    // The peer is resolved at delivery time, not captured here: the NIC at
+    // the far end may detach — or be destroyed by a host kill — while the
+    // frame is in flight, and a frame must never land on a dead endpoint.
+    sim_.schedule_at(arrive, [this, side, tracked = plan.tracked,
+                              f = std::move(f)] {
+      --dir_[side].in_flight;
+      Nic* receiver = ends_[1 - side];
+      if (receiver == nullptr) {
+        ++drops_detached_;
+        if (tracked) impairment_.note_detached();
+        return;
+      }
+      if (tracked) impairment_.note_delivered();
+      receiver->deliver(f);
+    });
+  }
 }
 
 }  // namespace tfo::net

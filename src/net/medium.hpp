@@ -9,6 +9,12 @@
 //
 // `PointToPointLink` models a WAN hop (bandwidth, propagation delay,
 // random loss, finite queue) for the paper's FTP experiment (Figure 6).
+//
+// Both media run every delivery through an `Impairment` pipeline
+// (net/impairment.hpp): uniform and bursty loss, duplication, reordering
+// jitter and byte corruption, per-receiver-targetable and deterministically
+// seeded. The legacy `loss_probability`/`loss_seed` knobs remain as thin
+// wrappers that configure the pipeline's uniform-loss stage.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/frame.hpp"
+#include "net/impairment.hpp"
 #include "sim/simulator.hpp"
 
 namespace tfo::net {
@@ -29,7 +36,7 @@ class Nic;
 /// Decides, per delivery, whether a frame is lost between a sender and one
 /// receiver. Per-receiver loss lets tests reproduce the paper's §4 cases
 /// ("the secondary server drops the client segment although the primary
-/// server receives it").
+/// server receives it"). Consulted before the impairment pipeline.
 using LossFn = std::function<bool(const Nic& sender, const Nic& receiver,
                                   const EthernetFrame& frame)>;
 
@@ -51,9 +58,12 @@ struct SharedMediumParams {
   /// Full-duplex: each sender owns an independent transmit path (switch
   /// semantics without per-port forwarding tables).
   bool half_duplex = true;
-  /// Uniform per-delivery loss probability (0 disables).
+  /// Legacy uniform per-delivery loss knobs: folded into
+  /// `impairment.loss`/`impairment.seed` at construction (0 disables).
   double loss_probability = 0.0;
   std::uint64_t loss_seed = 42;
+  /// Impairment pipeline configuration (loss/duplication/reorder/corrupt).
+  ImpairmentParams impairment;
 };
 
 class SharedMedium : public Medium {
@@ -64,39 +74,52 @@ class SharedMedium : public Medium {
   void detach(Nic* nic) override;
   void transmit(Nic* sender, EthernetFrame frame) override;
 
-  /// Installs an additional loss rule, consulted before the uniform model.
-  /// Return true to drop. Pass nullptr to clear.
+  /// Installs an additional loss rule, consulted before the impairment
+  /// pipeline. Return true to drop. Pass nullptr to clear.
   void set_loss_fn(LossFn fn) { loss_fn_ = std::move(fn); }
+
+  /// The delivery impairment pipeline (reconfigure/target/counters).
+  Impairment& impairment() { return impairment_; }
+  const Impairment& impairment() const { return impairment_; }
 
   /// Total simulated octet-equivalents put on the wire (contention metric).
   std::uint64_t wire_bytes_carried() const { return wire_bytes_carried_; }
   /// Number of transmissions that had to wait for a busy wire.
   std::uint64_t deferrals() const { return deferrals_; }
+  /// Frame copies dropped because the receiver detached (or was destroyed)
+  /// while the copy was in flight.
+  std::uint64_t drops_detached() const { return drops_detached_; }
 
   const SharedMediumParams& params() const { return params_; }
 
  private:
   SimDuration wire_time(const EthernetFrame& f) const;
   void deliver(Nic* sender, const EthernetFrame& frame);
+  void deliver_copy(Nic* receiver, const EthernetFrame& frame, bool tracked);
+  bool is_attached(const Nic* nic) const;
 
   sim::Simulator& sim_;
   SharedMediumParams params_;
   std::vector<Nic*> nics_;
   SimTime busy_until_ = 0;  // half-duplex: the single wire
   std::unordered_map<Nic*, SimTime> tx_busy_until_;  // full-duplex: per port
-  Rng loss_rng_;
   LossFn loss_fn_;
+  Impairment impairment_;
   std::uint64_t wire_bytes_carried_ = 0;
   std::uint64_t deferrals_ = 0;
+  std::uint64_t drops_detached_ = 0;
 };
 
 struct PointToPointParams {
   std::uint64_t bandwidth_bps = 10'000'000;  // a modest WAN uplink
   SimDuration propagation = milliseconds(10);
+  /// Legacy uniform loss knobs: folded into the impairment pipeline.
   double loss_probability = 0.0;
   std::uint64_t loss_seed = 43;
   /// Maximum frames queued per direction before tail drop.
   std::size_t queue_limit = 64;
+  /// Impairment pipeline configuration (loss/duplication/reorder/corrupt).
+  ImpairmentParams impairment;
 };
 
 /// Full-duplex two-endpoint link with finite FIFO queues per direction.
@@ -108,8 +131,15 @@ class PointToPointLink : public Medium {
   void detach(Nic* nic) override;
   void transmit(Nic* sender, EthernetFrame frame) override;
 
+  /// The delivery impairment pipeline (reconfigure/target/counters).
+  Impairment& impairment() { return impairment_; }
+  const Impairment& impairment() const { return impairment_; }
+
   std::uint64_t drops_queue() const { return drops_queue_; }
   std::uint64_t drops_loss() const { return drops_loss_; }
+  /// Copies dropped because the destination endpoint detached (or was
+  /// destroyed) while the copy was in flight.
+  std::uint64_t drops_detached() const { return drops_detached_; }
   const PointToPointParams& params() const { return params_; }
 
  private:
@@ -123,9 +153,10 @@ class PointToPointLink : public Medium {
   PointToPointParams params_;
   Nic* ends_[2] = {nullptr, nullptr};
   Direction dir_[2];  // dir_[i]: traffic transmitted by ends_[i]
-  Rng loss_rng_;
+  Impairment impairment_;
   std::uint64_t drops_queue_ = 0;
   std::uint64_t drops_loss_ = 0;
+  std::uint64_t drops_detached_ = 0;
 };
 
 }  // namespace tfo::net

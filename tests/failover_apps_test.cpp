@@ -218,8 +218,11 @@ TEST(MultiTier, ReplicatedServerConnectsToUnreplicatedBackend) {
   Bytes reply_p, reply_s;
   auto run_replica = [&](apps::Host& h, Bytes& reply) {
     auto conn = h.tcp().connect(lan->backend->address(), 5432, {.nodelay = true}, 9100);
-    conn->on_established = [conn] { conn->send(to_bytes("SELECT 42")); };
-    conn->on_readable = [conn, &reply] { conn->recv(reply); };
+    // Raw captures: a connection's own callback holding its shared_ptr is
+    // an ownership cycle (the callbacks are never cleared), which leaks
+    // the connection. The local shared_ptr keeps it alive for the test.
+    conn->on_established = [c = conn.get()] { c->send(to_bytes("SELECT 42")); };
+    conn->on_readable = [c = conn.get(), &reply] { c->recv(reply); };
     return conn;
   };
   auto cp = run_replica(*lan->primary, reply_p);
@@ -249,10 +252,12 @@ TEST(MultiTier, BackendSessionSurvivesPrimaryCrash) {
                                         {.nodelay = true}, 9100);
   auto cs = lan->secondary->tcp().connect(lan->backend->address(), 5432,
                                           {.nodelay = true}, 9100);
-  cp->on_established = [cp] { cp->send(to_bytes("q1")); };
-  cs->on_established = [cs] { cs->send(to_bytes("q1")); };
-  cp->on_readable = [cp, &reply_p] { cp->recv(reply_p); };
-  cs->on_readable = [cs, &reply_s] { cs->recv(reply_s); };
+  // Raw captures: see ReplicatedServerConnectsToUnreplicatedBackend — a
+  // shared_ptr self-capture cycle leaks the crashed primary's connection.
+  cp->on_established = [c = cp.get()] { c->send(to_bytes("q1")); };
+  cs->on_established = [c = cs.get()] { c->send(to_bytes("q1")); };
+  cp->on_readable = [c = cp.get(), &reply_p] { c->recv(reply_p); };
+  cs->on_readable = [c = cs.get(), &reply_s] { c->recv(reply_s); };
   ASSERT_TRUE(test::run_until(lan->sim, [&] {
     return reply_p.size() == 2 && reply_s.size() == 2;
   }, seconds(60)));

@@ -106,5 +106,43 @@ TEST_F(FdFixture, SurvivesModerateHeartbeatLoss) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST_F(FdFixture, MeshSurvivesWatchAfterStart) {
+  // Regression: armed deadline callbacks capture a Peer*, and a watch()
+  // issued after start() (reintegration) used to reallocate the peers
+  // vector under them. With many late registrations every growth step is
+  // exercised; all peers must still be declared exactly once, and the
+  // early-armed timers must not touch freed storage.
+  HeartbeatMesh mesh(*lan->primary, milliseconds(10), milliseconds(50));
+  int fired = 0;
+  mesh.watch(ip::Ipv4::parse("10.0.9.1"), [&] { ++fired; });
+  mesh.start();
+  for (int i = 2; i <= 30; ++i) {
+    const std::string addr = "10.0.9." + std::to_string(i);
+    mesh.watch(ip::Ipv4::parse(addr.c_str()), [&] { ++fired; });
+  }
+  lan->sim.run_for(seconds(1));
+  EXPECT_EQ(fired, 30);
+  EXPECT_EQ(mesh.peers_watched(), 30u);
+  for (int i = 1; i <= 30; ++i) {
+    const std::string addr = "10.0.9." + std::to_string(i);
+    EXPECT_TRUE(mesh.peer_failed(ip::Ipv4::parse(addr.c_str()))) << addr;
+  }
+}
+
+TEST_F(FdFixture, MeshLateWatchedPeerIsArmedImmediately) {
+  // A silent peer registered after start() must still be detected: its
+  // deadline arms at watch() time, not at its (never-arriving) first
+  // heartbeat.
+  HeartbeatMesh mesh(*lan->primary, milliseconds(10), milliseconds(50));
+  mesh.start();
+  lan->sim.run_for(milliseconds(100));
+  SimTime declared_at = 0;
+  const SimTime watched_at = lan->sim.now();
+  mesh.watch(ip::Ipv4::parse("10.0.9.99"), [&] { declared_at = lan->sim.now(); });
+  lan->sim.run_for(seconds(1));
+  ASSERT_GT(declared_at, 0u);
+  EXPECT_LE(declared_at - watched_at, static_cast<SimTime>(milliseconds(60)));
+}
+
 }  // namespace
 }  // namespace tfo::core
