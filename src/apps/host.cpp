@@ -28,6 +28,40 @@ Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
     }
   });
   nic_->attach(medium);
+
+  // Snapshot the global wire-buffer accounting so this host's mirrored
+  // counters start at zero (see refresh_wire_counters).
+  wire_baseline_ = wire::buffer_stats();
+  auto& reg = obs_.registry;
+  ctr_alloc_buffers_ = &reg.counter("net.alloc.buffers");
+  ctr_alloc_bytes_ = &reg.counter("net.alloc.bytes");
+  ctr_alloc_copies_ = &reg.counter("net.alloc.copies");
+  ctr_alloc_shares_ = &reg.counter("net.alloc.shares");
+  ctr_bytes_copied_ = &reg.counter("net.bytes_copied");
+}
+
+void Host::refresh_wire_counters() const {
+  const wire::BufferStats& now = wire::buffer_stats();
+  // Counters only move forward: if the global stats were reset underneath
+  // us (bench/test hygiene), hold the published value rather than wrap.
+  const auto mirror = [](obs::Counter* c, std::uint64_t now_v,
+                         std::uint64_t base, std::uint64_t& published) {
+    const std::uint64_t delta = now_v >= base ? now_v - base : now_v;
+    if (delta > published) {
+      c->inc(delta - published);
+      published = delta;
+    }
+  };
+  mirror(ctr_alloc_buffers_, now.allocations, wire_baseline_.allocations,
+         wire_published_.allocations);
+  mirror(ctr_alloc_bytes_, now.allocated_bytes, wire_baseline_.allocated_bytes,
+         wire_published_.allocated_bytes);
+  mirror(ctr_alloc_copies_, now.deep_copies, wire_baseline_.deep_copies,
+         wire_published_.deep_copies);
+  mirror(ctr_alloc_shares_, now.shares, wire_baseline_.shares,
+         wire_published_.shares);
+  mirror(ctr_bytes_copied_, now.copied_bytes, wire_baseline_.copied_bytes,
+         wire_published_.copied_bytes);
 }
 
 void Host::fail() {
@@ -37,6 +71,7 @@ void Host::fail() {
 }
 
 std::string Host::snapshot_json() const {
+  refresh_wire_counters();
   obs::JsonWriter w;
   w.begin_object();
   w.key("host").value(params_.name);

@@ -15,6 +15,7 @@
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/tcp_layer.hpp"
+#include "wire/packet_buffer.hpp"
 
 namespace tfo::apps {
 
@@ -60,13 +61,25 @@ class Host {
   obs::EventLog& timeline() { return obs_.timeline; }
 
   /// Point-in-time copy of every metric this host's components publish.
-  obs::Snapshot metrics_snapshot() const { return obs_.registry.snapshot(); }
+  obs::Snapshot metrics_snapshot() const {
+    refresh_wire_counters();
+    return obs_.registry.snapshot();
+  }
 
   /// The host's full observability state — metrics plus failover timeline
   /// — as one JSON object (schema in OBSERVABILITY.md).
   std::string snapshot_json() const;
 
  private:
+  /// Mirrors the process-global wire::buffer_stats() into this host's
+  /// registry as net.alloc.* / net.bytes_copied counters. The stats are
+  /// global (the buffer layer has no host notion), so each host publishes
+  /// the delta since its own construction; within one simulation that is
+  /// the run's packet-buffer activity, and it is deterministic because
+  /// identical runs construct their hosts at identical points in the
+  /// global allocation sequence.
+  void refresh_wire_counters() const;
+
   sim::Simulator& sim_;
   obs::Hub obs_;
   HostParams params_;
@@ -75,6 +88,15 @@ class Host {
   std::unique_ptr<ip::IpLayer> ip_;
   std::unique_ptr<tcp::TcpLayer> tcp_;
   bool failed_ = false;
+
+  // Wire-buffer accounting mirror (see refresh_wire_counters).
+  wire::BufferStats wire_baseline_;
+  mutable wire::BufferStats wire_published_;
+  obs::Counter* ctr_alloc_buffers_ = nullptr;
+  obs::Counter* ctr_alloc_bytes_ = nullptr;
+  obs::Counter* ctr_alloc_copies_ = nullptr;
+  obs::Counter* ctr_alloc_shares_ = nullptr;
+  obs::Counter* ctr_bytes_copied_ = nullptr;
 };
 
 }  // namespace tfo::apps

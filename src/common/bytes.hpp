@@ -30,17 +30,41 @@ inline void append(Bytes& dst, BytesView src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }
 
-/// Big-endian field writers/readers used by all wire formats.
+/// Big-endian field writers into raw memory. Serializers pre-size their
+/// output (or claim headroom in a wire::PacketBuffer) and write fields at
+/// known offsets through these — no per-byte push_back growth on the hot
+/// path. Each returns the position just past the written field so header
+/// builders can chain them cursor-style.
+inline std::uint8_t* write_u8(std::uint8_t* p, std::uint8_t v) {
+  *p = v;
+  return p + 1;
+}
+inline std::uint8_t* write_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+  return p + 2;
+}
+inline std::uint8_t* write_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+  return p + 4;
+}
+
+/// Legacy growth-style writers, kept for cold paths (app-level protocol
+/// builders); wire-format serializers use the bulk writers above.
 inline void put_u8(Bytes& b, std::uint8_t v) { b.push_back(v); }
 inline void put_u16(Bytes& b, std::uint16_t v) {
-  b.push_back(static_cast<std::uint8_t>(v >> 8));
-  b.push_back(static_cast<std::uint8_t>(v));
+  const std::uint8_t w[2] = {static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  b.insert(b.end(), w, w + 2);
 }
 inline void put_u32(Bytes& b, std::uint32_t v) {
-  b.push_back(static_cast<std::uint8_t>(v >> 24));
-  b.push_back(static_cast<std::uint8_t>(v >> 16));
-  b.push_back(static_cast<std::uint8_t>(v >> 8));
-  b.push_back(static_cast<std::uint8_t>(v));
+  const std::uint8_t w[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  b.insert(b.end(), w, w + 4);
 }
 
 inline std::uint8_t get_u8(BytesView b, std::size_t off) { return b[off]; }

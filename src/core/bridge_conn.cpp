@@ -191,11 +191,13 @@ void BridgeConn::on_primary_segment(const TcpSegment& seg) {
     return;
   }
 
-  Bytes data = seg.payload;
+  // Retain a slice of the arriving frame's storage; the prefix trim is an
+  // offset move, and the queue keeps the slice without copying.
+  wire::PacketBuffer data = seg.payload;
   std::uint64_t ins_off = offset;
   if (ins_off < next_to_client_) {
     // Partially old: the prefix already went to the client.
-    data.erase(data.begin(), data.begin() + static_cast<long>(next_to_client_ - ins_off));
+    data.trim_front(static_cast<std::size_t>(next_to_client_ - ins_off));
     ins_off = next_to_client_;
   }
   if (!data.empty() && !p_queue_.insert(ins_off, data)) {
@@ -274,10 +276,10 @@ void BridgeConn::on_secondary_segment(const TcpSegment& seg) {
     return;
   }
 
-  Bytes data = seg.payload;
+  wire::PacketBuffer data = seg.payload;
   std::uint64_t ins_off = offset;
   if (ins_off < next_to_client_) {
-    data.erase(data.begin(), data.begin() + static_cast<long>(next_to_client_ - ins_off));
+    data.trim_front(static_cast<std::size_t>(next_to_client_ - ins_off));
     ins_off = next_to_client_;
   }
   if (!data.empty() && !s_queue_.insert(ins_off, data)) {
@@ -332,8 +334,8 @@ void BridgeConn::pump() {
         {p_queue_.contiguous_at(next_to_client_), s_queue_.contiguous_at(next_to_client_),
          emit_mss});
     if (n > 0) {
-      Bytes from_p = p_queue_.extract(next_to_client_, n);
-      Bytes from_s = s_queue_.extract(next_to_client_, n);
+      wire::PacketBuffer from_p = p_queue_.extract(next_to_client_, n);
+      wire::PacketBuffer from_s = s_queue_.extract(next_to_client_, n);
       if (from_p != from_s) {
         TFO_LOG(kError, "bridge") << key_.str() << " replica divergence at offset "
                                   << next_to_client_;
@@ -350,14 +352,15 @@ void BridgeConn::pump() {
     // server FIN only once both replicas produced it).
     if (!fin_sent_to_remote_ && fin_p_ && fin_s_ && *fin_p_ == *fin_s_ &&
         *fin_p_ == next_to_client_) {
-      emit_payload(next_to_client_, Bytes{}, /*fin=*/true);
+      emit_payload(next_to_client_, wire::PacketBuffer{}, /*fin=*/true);
       continue;
     }
     break;
   }
 }
 
-void BridgeConn::emit_payload(std::uint64_t offset, Bytes payload, bool fin) {
+void BridgeConn::emit_payload(std::uint64_t offset, wire::PacketBuffer payload,
+                              bool fin) {
   TcpSegment seg = base_segment_to_remote();
   seg.seq = unwrap_s_.wrap(offset);
   seg.payload = std::move(payload);
@@ -379,7 +382,8 @@ void BridgeConn::emit_payload(std::uint64_t offset, Bytes payload, bool fin) {
   check_fully_closed();
 }
 
-void BridgeConn::emit_retransmission(std::uint64_t offset, const Bytes& payload,
+void BridgeConn::emit_retransmission(std::uint64_t offset,
+                                     const wire::PacketBuffer& payload,
                                      bool fin) {
   TcpSegment seg = base_segment_to_remote();
   seg.seq = unwrap_s_.wrap(offset);
@@ -458,7 +462,7 @@ void BridgeConn::on_secondary_failed() {
   while (p_queue_.contiguous_at(next_to_client_) > 0) {
     const std::size_t n =
         std::min(p_queue_.contiguous_at(next_to_client_), emit_mss);
-    Bytes data = p_queue_.extract(next_to_client_, n);
+    wire::PacketBuffer data = p_queue_.extract(next_to_client_, n);
     TcpSegment seg = base_segment_to_remote();
     seg.seq = unwrap_s_.wrap(next_to_client_);
     seg.payload = std::move(data);

@@ -103,9 +103,10 @@ class BridgeConn {
  private:
   void try_send_syn();
   void pump();
-  void emit_payload(std::uint64_t offset, Bytes payload, bool fin);
+  void emit_payload(std::uint64_t offset, wire::PacketBuffer payload, bool fin);
   void emit_empty_ack_if_progress();
-  void emit_retransmission(std::uint64_t offset, const Bytes& payload, bool fin);
+  void emit_retransmission(std::uint64_t offset,
+                           const wire::PacketBuffer& payload, bool fin);
   void note_server_ack(std::uint64_t& slot, const tcp::TcpSegment& seg);
   void check_fully_closed();
   // "The acknowledgment field contains ... whichever is smaller" (§3.2);

@@ -1,12 +1,14 @@
 #include "core/output_queue.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "common/assert.hpp"
 
 namespace tfo::core {
 
-bool OutputQueue::insert(std::uint64_t offset, BytesView data) {
+bool OutputQueue::insert(std::uint64_t offset, const wire::PacketBuffer& data) {
   if (data.empty()) return true;
   const std::uint64_t end = offset + data.size();
 
@@ -18,38 +20,36 @@ bool OutputQueue::insert(std::uint64_t offset, BytesView data) {
     const std::uint64_t r_end = r_off + probe->second.size();
     const std::uint64_t lo = std::max(offset, r_off);
     const std::uint64_t hi = std::min(end, r_end);
-    for (std::uint64_t i = lo; i < hi; ++i) {
-      if (probe->second[static_cast<std::size_t>(i - r_off)] !=
-          data[static_cast<std::size_t>(i - offset)]) {
-        return false;
-      }
+    if (lo < hi &&
+        std::memcmp(probe->second.data() + (lo - r_off),
+                    data.data() + (lo - offset),
+                    static_cast<std::size_t>(hi - lo)) != 0) {
+      return false;
     }
   }
 
-  // Pass 2: union the new run with every overlapping or abutting run.
-  auto first = runs_.upper_bound(offset);
-  if (first != runs_.begin()) {
-    auto prev = std::prev(first);
-    if (prev->first + prev->second.size() >= offset) first = prev;
+  // Pass 2: retain only the uncovered gaps, each as a slice sharing
+  // `data`'s storage — existing runs are left in place untouched.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps;  // [lo, hi)
+  std::uint64_t pos = offset;
+  auto p = runs_.upper_bound(offset);
+  if (p != runs_.begin()) --p;
+  for (; p != runs_.end() && p->first < end && pos < end; ++p) {
+    const std::uint64_t r_off = p->first;
+    const std::uint64_t r_end = r_off + p->second.size();
+    if (r_end <= pos) continue;
+    if (r_off > pos) gaps.emplace_back(pos, std::min(r_off, end));
+    pos = std::max(pos, std::min(r_end, end));
   }
-  std::uint64_t span_off = offset, span_end = end;
-  auto last = first;
-  while (last != runs_.end() && last->first <= end) {
-    span_off = std::min(span_off, last->first);
-    span_end = std::max(span_end, last->first + last->second.size());
-    ++last;
+  if (pos < end) gaps.emplace_back(pos, end);
+
+  for (const auto& [lo, hi] : gaps) {
+    wire::PacketBuffer slice = data;
+    slice.trim_front(static_cast<std::size_t>(lo - offset));
+    slice.trim_to(static_cast<std::size_t>(hi - lo));
+    total_ += slice.size();
+    runs_.emplace(lo, std::move(slice));
   }
-  Bytes merged(static_cast<std::size_t>(span_end - span_off));
-  for (auto p = first; p != last; ++p) {
-    std::copy(p->second.begin(), p->second.end(),
-              merged.begin() + static_cast<long>(p->first - span_off));
-    total_ -= p->second.size();
-  }
-  std::copy(data.begin(), data.end(),
-            merged.begin() + static_cast<long>(offset - span_off));
-  runs_.erase(first, last);
-  total_ += merged.size();
-  runs_.emplace(span_off, std::move(merged));
   publish_gauges();
   return true;
 }
@@ -58,31 +58,78 @@ std::size_t OutputQueue::contiguous_at(std::uint64_t offset) const {
   auto it = runs_.upper_bound(offset);
   if (it == runs_.begin()) return 0;
   --it;
-  const std::uint64_t r_end = it->first + it->second.size();
-  return offset < r_end ? static_cast<std::size_t>(r_end - offset) : 0;
+  std::uint64_t r_end = it->first + it->second.size();
+  if (offset >= r_end) return 0;
+  std::size_t n = static_cast<std::size_t>(r_end - offset);
+  // Runs are kept as independent slices; contiguity spans abutting ones.
+  for (++it; it != runs_.end() && it->first == r_end; ++it) {
+    n += it->second.size();
+    r_end += it->second.size();
+  }
+  return n;
 }
 
-Bytes OutputQueue::extract(std::uint64_t offset, std::size_t n) {
+wire::PacketBuffer OutputQueue::extract(std::uint64_t offset, std::size_t n) {
   TFO_ASSERT(contiguous_at(offset) >= n, "extract beyond contiguous run");
   auto it = runs_.upper_bound(offset);
   --it;
-  const std::uint64_t r_off = it->first;
-  Bytes run = std::move(it->second);
-  total_ -= run.size();
-  runs_.erase(it);
 
+  const std::uint64_t r_off = it->first;
   const std::size_t head = static_cast<std::size_t>(offset - r_off);
-  Bytes out(run.begin() + static_cast<long>(head),
-            run.begin() + static_cast<long>(head + n));
-  if (head > 0) {
-    Bytes left(run.begin(), run.begin() + static_cast<long>(head));
-    total_ += left.size();
-    runs_.emplace(r_off, std::move(left));
+  if (head + n <= it->second.size()) {
+    // Fast path: the span lies within one run — the result and any
+    // retained left/right remainders are all slices of the same storage;
+    // no bytes move.
+    wire::PacketBuffer run = std::move(it->second);
+    runs_.erase(it);
+    total_ -= run.size();
+    if (head > 0) {
+      wire::PacketBuffer left = run;
+      left.trim_to(head);
+      total_ += left.size();
+      runs_.emplace(r_off, std::move(left));
+    }
+    if (head + n < run.size()) {
+      wire::PacketBuffer right = run;
+      right.trim_front(head + n);
+      total_ += right.size();
+      runs_.emplace(offset + n, std::move(right));
+    }
+    run.trim_front(head);
+    run.trim_to(n);
+    publish_gauges();
+    return run;
   }
-  if (head + n < run.size()) {
-    Bytes right(run.begin() + static_cast<long>(head + n), run.end());
-    total_ += right.size();
-    runs_.emplace(offset + n, std::move(right));
+
+  // Slow path: gather across abutting runs into a fresh buffer.
+  wire::PacketBuffer out = wire::PacketBuffer::alloc(n);
+  std::uint8_t* w = out.mutable_data();
+  std::uint64_t pos = offset;
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    it = runs_.upper_bound(pos);
+    --it;
+    wire::PacketBuffer run = std::move(it->second);
+    const std::uint64_t run_off = it->first;
+    runs_.erase(it);
+    total_ -= run.size();
+    const std::size_t skip = static_cast<std::size_t>(pos - run_off);
+    if (skip > 0) {
+      wire::PacketBuffer left = run;
+      left.trim_to(skip);
+      total_ += left.size();
+      runs_.emplace(run_off, std::move(left));
+    }
+    const std::size_t take = std::min(run.size() - skip, remaining);
+    std::memcpy(w, run.data() + skip, take);
+    w += take;
+    remaining -= take;
+    pos += take;
+    if (skip + take < run.size()) {
+      run.trim_front(skip + take);
+      total_ += run.size();
+      runs_.emplace(pos, std::move(run));
+    }
   }
   publish_gauges();
   return out;
@@ -91,18 +138,19 @@ Bytes OutputQueue::extract(std::uint64_t offset, std::size_t n) {
 void OutputQueue::drop_below(std::uint64_t offset) {
   while (!runs_.empty()) {
     auto it = runs_.begin();
-    const std::uint64_t r_end = it->first + it->second.size();
-    if (it->first >= offset) break;
+    const std::uint64_t r_off = it->first;
+    const std::uint64_t r_end = r_off + it->second.size();
+    if (r_off >= offset) break;
     if (r_end <= offset) {
       total_ -= it->second.size();
       runs_.erase(it);
       continue;
     }
-    // Trim the head of this run.
-    Bytes tail(it->second.begin() + static_cast<long>(offset - it->first),
-               it->second.end());
-    total_ -= it->second.size();
+    // Trim the head of this run — an offset move on the retained slice.
+    wire::PacketBuffer tail = std::move(it->second);
     runs_.erase(it);
+    total_ -= tail.size();
+    tail.trim_front(static_cast<std::size_t>(offset - r_off));
     total_ += tail.size();
     runs_.emplace(offset, std::move(tail));
     break;

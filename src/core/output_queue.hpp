@@ -10,6 +10,12 @@
 // Because the replicas are required to be deterministic, bytes inserted at
 // overlapping offsets must agree; a mismatch is surfaced as replica
 // divergence rather than silently corrupting the stream.
+//
+// Storage is zero-copy: each run is a wire::PacketBuffer slice sharing the
+// storage of the frame the bytes arrived in — insertion retains references,
+// never deep copies. Runs are non-overlapping but may abut; contiguity
+// queries walk adjacent runs, and single-run extraction returns a slice of
+// the retained buffer without touching bytes.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 
 #include "common/bytes.hpp"
 #include "obs/metrics.hpp"
+#include "wire/packet_buffer.hpp"
 
 namespace tfo::core {
 
@@ -42,19 +49,36 @@ class OutputQueue {
     gauge_depth_ = depth;
     publish_gauges();
   }
-  /// Inserts `data` at `offset`, merging with adjacent/overlapping runs.
-  /// Returns false (and leaves the queue unchanged) when an overlapping
-  /// byte disagrees with previously inserted content — replica divergence.
-  [[nodiscard]] bool insert(std::uint64_t offset, BytesView data);
 
-  /// Number of contiguous bytes available starting exactly at `offset`.
+  /// Inserts `data` at `offset`. Bytes not already present are retained
+  /// as slices sharing `data`'s storage (no copy). Returns false (and
+  /// leaves the queue unchanged) when an overlapping byte disagrees with
+  /// previously inserted content — replica divergence.
+  [[nodiscard]] bool insert(std::uint64_t offset,
+                            const wire::PacketBuffer& data);
+  /// Copying fallback for callers holding loose bytes (tests, probes).
+  [[nodiscard]] bool insert(std::uint64_t offset, BytesView data) {
+    return insert(offset, wire::PacketBuffer::copy_of(data));
+  }
+  /// Disambiguator: a Bytes argument converts equally well to BytesView
+  /// and PacketBuffer.
+  [[nodiscard]] bool insert(std::uint64_t offset, const Bytes& data) {
+    return insert(offset, wire::PacketBuffer(data));
+  }
+
+  /// Number of contiguous bytes available starting exactly at `offset`
+  /// (spans abutting runs).
   std::size_t contiguous_at(std::uint64_t offset) const;
 
   /// Removes and returns exactly `n` bytes starting at `offset`
-  /// (requires contiguous_at(offset) >= n).
-  Bytes extract(std::uint64_t offset, std::size_t n);
+  /// (requires contiguous_at(offset) >= n). When the span lies within a
+  /// single retained run this is zero-copy — the result is a slice of
+  /// the run's storage; spans crossing run boundaries gather into a
+  /// fresh buffer.
+  wire::PacketBuffer extract(std::uint64_t offset, std::size_t n);
 
-  /// Drops all bytes below `offset` (already sent to the client).
+  /// Drops all bytes below `offset` (already sent to the client). Pure
+  /// offset trims — never copies.
   void drop_below(std::uint64_t offset);
 
   bool empty() const { return runs_.empty(); }
@@ -82,8 +106,8 @@ class OutputQueue {
     }
   }
 
-  // Non-overlapping, non-adjacent runs: offset -> bytes.
-  std::map<std::uint64_t, Bytes> runs_;
+  // Non-overlapping (possibly abutting) runs: offset -> buffer slice.
+  std::map<std::uint64_t, wire::PacketBuffer> runs_;
   std::size_t total_ = 0;
   obs::Gauge* gauge_bytes_ = nullptr;
   obs::Gauge* gauge_depth_ = nullptr;

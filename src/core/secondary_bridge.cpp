@@ -76,7 +76,10 @@ HookVerdict SecondaryBridge::ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta&
       return HookVerdict::kDrop;
     }
     // Rewrite a_p -> a_s and fix the TCP checksum incrementally in the
-    // serialized segment (the pseudo-header destination changed).
+    // serialized segment (the pseudo-header destination changed). This is
+    // the paper's rewrite-in-place: two bytes patched directly in the
+    // arriving wire buffer — copy-on-write guards the case where the
+    // primary's own pending delivery still shares the frame storage.
     tcp::patch_checksum_for_address_change(dgram.payload, dgram.dst, host_.address());
     dgram.dst = host_.address();
     ctr_translated_->inc();

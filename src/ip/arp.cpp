@@ -11,20 +11,21 @@ namespace {
 constexpr std::uint16_t kOpRequest = 1;
 constexpr std::uint16_t kOpReply = 2;
 
-// RFC 826 packet for Ethernet/IPv4: 28 bytes.
+// RFC 826 packet for Ethernet/IPv4: 28 bytes, written into a pre-sized
+// buffer (no push_back growth).
 Bytes serialize_arp(std::uint16_t op, net::MacAddress sha, Ipv4 spa,
                     net::MacAddress tha, Ipv4 tpa) {
-  Bytes out;
-  out.reserve(28);
-  put_u16(out, 1);       // htype: Ethernet
-  put_u16(out, 0x0800);  // ptype: IPv4
-  put_u8(out, 6);        // hlen
-  put_u8(out, 4);        // plen
-  put_u16(out, op);
-  for (auto b : sha.b) put_u8(out, b);
-  put_u32(out, spa.v);
-  for (auto b : tha.b) put_u8(out, b);
-  put_u32(out, tpa.v);
+  Bytes out(28);
+  std::uint8_t* p = out.data();
+  p = write_u16(p, 1);       // htype: Ethernet
+  p = write_u16(p, 0x0800);  // ptype: IPv4
+  p = write_u8(p, 6);        // hlen
+  p = write_u8(p, 4);        // plen
+  p = write_u16(p, op);
+  p = std::copy(sha.b.begin(), sha.b.end(), p);
+  p = write_u32(p, spa.v);
+  p = std::copy(tha.b.begin(), tha.b.end(), p);
+  write_u32(p, tpa.v);
   return out;
 }
 

@@ -1,41 +1,91 @@
 #include "ip/datagram.hpp"
 
+#include <cstring>
+
 #include "common/checksum.hpp"
 
 namespace tfo::ip {
 
+namespace {
+/// Writes the 20-byte header (checksum included) for a datagram whose
+/// total length is `tot_len` into `h`. Single writer shared by the
+/// copying and in-place serialization paths so they stay byte-identical.
+void write_header(std::uint8_t* h, const IpDatagram& d, std::size_t tot_len) {
+  std::uint8_t* p = h;
+  p = write_u8(p, 0x45);  // version 4, IHL 5
+  p = write_u8(p, 0);     // TOS
+  p = write_u16(p, static_cast<std::uint16_t>(tot_len));
+  p = write_u16(p, d.id);
+  p = write_u16(p, 0);  // flags/fragment: never fragmented (MSS <= MTU)
+  p = write_u8(p, d.ttl);
+  p = write_u8(p, static_cast<std::uint8_t>(d.proto));
+  p = write_u16(p, 0);  // checksum placeholder
+  p = write_u32(p, d.src.v);
+  write_u32(p, d.dst.v);
+  const std::uint16_t ck =
+      inet_checksum(BytesView(h, IpDatagram::kHeaderBytes));
+  write_u16(h + 10, ck);
+}
+}  // namespace
+
 Bytes IpDatagram::serialize() const {
-  Bytes out;
-  out.reserve(total_length());
-  put_u8(out, 0x45);  // version 4, IHL 5
-  put_u8(out, 0);     // TOS
-  put_u16(out, static_cast<std::uint16_t>(total_length()));
-  put_u16(out, id);
-  put_u16(out, 0);  // flags/fragment: never fragmented (MSS <= MTU)
-  put_u8(out, ttl);
-  put_u8(out, static_cast<std::uint8_t>(proto));
-  put_u16(out, 0);  // checksum placeholder
-  put_u32(out, src.v);
-  put_u32(out, dst.v);
-  const std::uint16_t ck = inet_checksum(BytesView(out.data(), kHeaderBytes));
-  set_u16(out, 10, ck);
-  append(out, payload);
+  Bytes out(total_length());
+  write_header(out.data(), *this, total_length());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kHeaderBytes, payload.data(), payload.size());
+  }
   return out;
 }
 
-std::optional<IpDatagram> IpDatagram::parse(BytesView wire) {
-  if (wire.size() < kHeaderBytes) return std::nullopt;
+wire::PacketBuffer IpDatagram::to_wire() {
+  const std::size_t tot_len = total_length();
+  wire::PacketBuffer w = std::move(payload);
+  payload.clear();
+  std::uint8_t* h = w.prepend(kHeaderBytes);
+  write_header(h, *this, tot_len);
+  return w;
+}
+
+namespace {
+/// Header validation shared by both parse overloads; fills every field
+/// except the payload. Returns the trimmed payload length, or nullopt.
+std::optional<std::size_t> parse_header(BytesView wire, IpDatagram& d) {
+  if (wire.size() < IpDatagram::kHeaderBytes) return std::nullopt;
   if (get_u8(wire, 0) != 0x45) return std::nullopt;  // no options supported
   const std::uint16_t tot_len = get_u16(wire, 2);
-  if (tot_len < kHeaderBytes || tot_len > wire.size()) return std::nullopt;
-  if (inet_checksum(wire.subspan(0, kHeaderBytes)) != 0) return std::nullopt;
-  IpDatagram d;
+  if (tot_len < IpDatagram::kHeaderBytes || tot_len > wire.size()) {
+    return std::nullopt;
+  }
+  if (inet_checksum(wire.subspan(0, IpDatagram::kHeaderBytes)) != 0) {
+    return std::nullopt;
+  }
   d.id = get_u16(wire, 4);
   d.ttl = get_u8(wire, 8);
   d.proto = static_cast<Proto>(get_u8(wire, 9));
   d.src = Ipv4{get_u32(wire, 12)};
   d.dst = Ipv4{get_u32(wire, 16)};
-  d.payload.assign(wire.begin() + kHeaderBytes, wire.begin() + tot_len);
+  return tot_len - IpDatagram::kHeaderBytes;
+}
+}  // namespace
+
+std::optional<IpDatagram> IpDatagram::parse(BytesView wire) {
+  IpDatagram d;
+  const auto payload_len = parse_header(wire, d);
+  if (!payload_len) return std::nullopt;
+  d.payload =
+      wire::PacketBuffer::copy_of(wire.subspan(kHeaderBytes, *payload_len));
+  return d;
+}
+
+std::optional<IpDatagram> IpDatagram::parse(const wire::PacketBuffer& wire) {
+  IpDatagram d;
+  const auto payload_len = parse_header(wire.view(), d);
+  if (!payload_len) return std::nullopt;
+  // Zero-copy: slice the arriving buffer past the header and drop any
+  // Ethernet minimum-frame padding via total_length.
+  d.payload = wire;
+  d.payload.trim_front(kHeaderBytes);
+  d.payload.trim_to(*payload_len);
   return d;
 }
 

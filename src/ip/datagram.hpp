@@ -7,6 +7,7 @@
 
 #include "common/bytes.hpp"
 #include "ip/addr.hpp"
+#include "wire/packet_buffer.hpp"
 
 namespace tfo::ip {
 
@@ -23,18 +24,39 @@ struct IpDatagram {
   Proto proto = Proto::kTcp;
   std::uint8_t ttl = 64;
   std::uint16_t id = 0;
-  Bytes payload;
+  /// Shared wire buffer: on rx this is a zero-copy slice of the frame the
+  /// datagram arrived in; on tx its headroom receives the IP header.
+  wire::PacketBuffer payload;
 
   static constexpr std::size_t kHeaderBytes = 20;
 
   std::size_t total_length() const { return kHeaderBytes + payload.size(); }
 
-  /// Serializes header + payload; computes the header checksum.
+  /// Serializes header + payload into a fresh Bytes; computes the header
+  /// checksum. Legacy copying path, kept as the byte-identical reference
+  /// for to_wire() (and for cold callers that want a detached copy).
   Bytes serialize() const;
 
+  /// Zero-copy serialization: prepends the IP header into the payload
+  /// buffer's headroom (in place when the storage is exclusively owned)
+  /// and returns the buffer. Consumes the payload — the datagram's
+  /// payload is empty afterwards. Byte-identical to serialize().
+  wire::PacketBuffer to_wire();
+
   /// Parses a wire datagram; verifies the header checksum and length.
-  /// Returns nullopt on malformed input.
+  /// Returns nullopt on malformed input. Copies the payload out.
   static std::optional<IpDatagram> parse(BytesView wire);
+
+  /// Zero-copy parse: the returned datagram's payload is a slice of
+  /// `wire`'s storage (trimmed to total_length, so Ethernet minimum-frame
+  /// padding is dropped here). No byte copies.
+  static std::optional<IpDatagram> parse(const wire::PacketBuffer& wire);
+
+  /// Disambiguator: a Bytes argument converts equally well to BytesView
+  /// and PacketBuffer, so route it to the view overload explicitly.
+  static std::optional<IpDatagram> parse(const Bytes& wire) {
+    return parse(BytesView(wire));
+  }
 };
 
 }  // namespace tfo::ip

@@ -55,7 +55,8 @@ std::optional<IpLayer::Route> IpLayer::route_for(Ipv4 dst) const {
   return std::nullopt;
 }
 
-void IpLayer::send(Proto proto, Ipv4 src, Ipv4 dst, Bytes payload) {
+void IpLayer::send(Proto proto, Ipv4 src, Ipv4 dst,
+                   wire::PacketBuffer payload) {
   IpDatagram d;
   d.proto = proto;
   d.src = src;
@@ -86,13 +87,16 @@ void IpLayer::send_datagram(IpDatagram dgram) {
 void IpLayer::transmit_on(std::size_t iface_idx, Ipv4 next_hop, IpDatagram dgram) {
   Interface& iface = interfaces_[iface_idx];
   ++tx_count_;
-  Bytes wire = dgram.serialize();
+  // Zero-copy: the IP header goes into the payload buffer's headroom; the
+  // resolve callback moves the buffer into the frame (a share at worst —
+  // never a byte copy).
+  wire::PacketBuffer wire = dgram.to_wire();
   iface.arp->resolve(next_hop, [nic = iface.nic, wire = std::move(wire)](
-                                   net::MacAddress mac) {
+                                   net::MacAddress mac) mutable {
     net::EthernetFrame frame;
     frame.dst = mac;
     frame.type = net::EtherType::kIpv4;
-    frame.payload = wire;
+    frame.payload = std::move(wire);
     nic->send(std::move(frame));
   });
 }

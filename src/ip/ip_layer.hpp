@@ -75,8 +75,9 @@ class IpLayer {
   Ipv4 address() const { return interfaces_.empty() ? Ipv4::any() : interfaces_[0].addr; }
 
   /// Sends a datagram. `src` may be any() to use the egress interface
-  /// address. Payload must already be serialized for the wire.
-  void send(Proto proto, Ipv4 src, Ipv4 dst, Bytes payload);
+  /// address. Payload must already be serialized for the wire (a Bytes
+  /// argument converts implicitly, adopting its storage).
+  void send(Proto proto, Ipv4 src, Ipv4 dst, wire::PacketBuffer payload);
 
   /// Sends a fully formed datagram (bridge re-emission path).
   void send_datagram(IpDatagram dgram);

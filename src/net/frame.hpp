@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "net/mac.hpp"
+#include "wire/packet_buffer.hpp"
 
 namespace tfo::net {
 
@@ -19,7 +20,9 @@ struct EthernetFrame {
   MacAddress dst;
   MacAddress src;
   EtherType type = EtherType::kIpv4;
-  Bytes payload;
+  /// Shared wire buffer: copying a frame (fan-out to N receivers, NIC rx
+  /// scheduling) shares the storage instead of duplicating the bytes.
+  wire::PacketBuffer payload;
 
   static constexpr std::size_t kHeaderBytes = 14;   // dst + src + ethertype
   static constexpr std::size_t kCrcBytes = 4;

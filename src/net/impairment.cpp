@@ -73,6 +73,9 @@ Impairment::Plan Impairment::plan(const Nic* sender, const Nic& receiver,
 }
 
 EthernetFrame Impairment::corrupt_frame(const EthernetFrame& frame) {
+  // The copy shares the original's storage; the first mutable access
+  // below copy-on-writes, so the intact copies delivered to other
+  // receivers never see the flipped bytes.
   EthernetFrame f = frame;
   if (f.payload.empty()) return f;
   const int flips = static_cast<int>(

@@ -29,6 +29,12 @@ void Nic::detach() {
 void Nic::send(EthernetFrame frame) {
   if (!enabled_ || medium_ == nullptr) return;
   frame.src = mac_;
+  // Ethernet minimum frame: pad runt payloads to 46 bytes with zeros, as
+  // real hardware does. Receivers recover the true length from the IP
+  // total_length field (ARP likewise tolerates trailing padding).
+  if (frame.payload.size() < EthernetFrame::kMinPayload) {
+    frame.payload.append(EthernetFrame::kMinPayload - frame.payload.size());
+  }
   ++tx_frames_;
   tx_bytes_ += frame.payload.size();
   TFO_LOG(kTrace, "nic") << name_ << " tx " << frame.payload.size() << "B -> "

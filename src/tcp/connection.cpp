@@ -602,17 +602,19 @@ void Connection::process_data(const TcpSegment& seg) {
     return;
   }
 
-  Bytes data = seg.payload;
+  // A share of the arriving frame's storage; the trims below are offset
+  // moves, not byte copies.
+  wire::PacketBuffer data = seg.payload;
   std::uint64_t off = static_cast<std::uint64_t>(std::max<std::int64_t>(start, 0));
   if (start < static_cast<std::int64_t>(rcv_nxt_)) {
-    data.erase(data.begin(),
-               data.begin() + static_cast<long>(static_cast<std::int64_t>(rcv_nxt_) - start));
+    data.trim_front(
+        static_cast<std::size_t>(static_cast<std::int64_t>(rcv_nxt_) - start));
     off = rcv_nxt_;
   }
 
   const std::size_t room = params_.recv_buf - rx_buf_.size();
   if (off == rcv_nxt_) {
-    if (data.size() > room) data.resize(room);  // beyond window: dropped
+    if (data.size() > room) data.trim_to(room);  // beyond window: dropped
     if (data.empty()) {
       send_ack_now();  // window probe: answer with current window
       return;
@@ -637,7 +639,7 @@ void Connection::deliver_in_order() {
   // Merge any out-of-order runs that are now contiguous.
   for (auto it = ooo_.begin(); it != ooo_.end();) {
     if (it->first > rcv_nxt_) break;
-    Bytes& run = it->second;
+    const wire::PacketBuffer& run = it->second;
     const std::uint64_t run_end = it->first + run.size();
     if (run_end > rcv_nxt_) {
       const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - it->first);

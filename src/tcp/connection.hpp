@@ -184,7 +184,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Seq32 irs_ = 0;
   std::uint64_t rcv_nxt_ = 0;
   Bytes rx_buf_;
-  std::map<std::uint64_t, Bytes> ooo_;  // out-of-order runs by offset
+  // Out-of-order runs by offset: zero-copy slices of the frames the data
+  // arrived in, retained until the gap below them fills.
+  std::map<std::uint64_t, wire::PacketBuffer> ooo_;
   std::optional<std::uint64_t> peer_fin_offset_;
   bool peer_fin_delivered_ = false;
   int segs_since_ack_ = 0;

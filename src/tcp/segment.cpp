@@ -1,5 +1,6 @@
 #include "tcp/segment.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/checksum.hpp"
@@ -13,15 +14,56 @@ constexpr std::uint8_t kOptNop = 1;
 constexpr std::uint8_t kOptMss = 2;
 constexpr std::uint8_t kOptOrigDst = 253;  // experimental (RFC 4727 range)
 
-Bytes pseudo_header(ip::Ipv4 src, ip::Ipv4 dst, std::size_t tcp_len) {
-  Bytes ph;
-  ph.reserve(12);
-  put_u32(ph, src.v);
-  put_u32(ph, dst.v);
-  put_u8(ph, 0);
-  put_u8(ph, 6);  // protocol: TCP
-  put_u16(ph, static_cast<std::uint16_t>(tcp_len));
-  return ph;
+/// One's-complement sum of the RFC 793 pseudo-header, computed directly
+/// from the field values — no 12-byte scratch allocation per segment.
+std::uint32_t pseudo_header_sum(ip::Ipv4 src, ip::Ipv4 dst,
+                                std::size_t tcp_len) {
+  std::uint32_t sum = 0;
+  sum += src.v >> 16;
+  sum += src.v & 0xffff;
+  sum += dst.v >> 16;
+  sum += dst.v & 0xffff;
+  sum += 6;  // zero byte + protocol (TCP)
+  sum += static_cast<std::uint32_t>(tcp_len) & 0xffff;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+/// Writes the TCP header (checksum placeholder zero) for `s` into `h`.
+/// Single writer shared by the copying and in-place serialization paths
+/// so they stay byte-identical.
+void write_header(std::uint8_t* h, const TcpSegment& s, std::size_t hdr) {
+  std::uint8_t* p = h;
+  p = write_u16(p, s.src_port);
+  p = write_u16(p, s.dst_port);
+  p = write_u32(p, s.seq);
+  p = write_u32(p, s.ack);
+  p = write_u8(p, static_cast<std::uint8_t>((hdr / 4) << 4));  // data offset
+  p = write_u8(p, s.flags);
+  p = write_u16(p, s.window);
+  p = write_u16(p, 0);  // checksum placeholder
+  p = write_u16(p, 0);  // urgent pointer (unused)
+  if (s.mss) {
+    p = write_u8(p, kOptMss);
+    p = write_u8(p, 4);
+    p = write_u16(p, *s.mss);
+  }
+  if (s.orig_dst) {
+    p = write_u8(p, kOptOrigDst);
+    p = write_u8(p, 6);
+    p = write_u32(p, s.orig_dst->v);
+  }
+  while (p < h + hdr) p = write_u8(p, kOptEnd);
+}
+
+/// Checksums a serialized segment in place: sum over pseudo-header + wire
+/// with the placeholder at zero, result written at kChecksumOffset.
+void finish_checksum(std::uint8_t* wire, std::size_t wire_len, ip::Ipv4 src_ip,
+                     ip::Ipv4 dst_ip) {
+  const std::uint32_t ph_sum = pseudo_header_sum(src_ip, dst_ip, wire_len);
+  const std::uint16_t ck = static_cast<std::uint16_t>(
+      ~ones_complement_sum(BytesView(wire, wire_len), ph_sum) & 0xffff);
+  write_u16(wire + TcpSegment::kChecksumOffset, ck);
 }
 
 }  // namespace
@@ -36,54 +78,44 @@ std::size_t TcpSegment::header_bytes() const {
 }
 
 Bytes TcpSegment::serialize(ip::Ipv4 src_ip, ip::Ipv4 dst_ip) const {
-  Bytes out;
   const std::size_t hdr = header_bytes();
-  out.reserve(hdr + payload.size());
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u32(out, seq);
-  put_u32(out, ack);
-  put_u8(out, static_cast<std::uint8_t>((hdr / 4) << 4));  // data offset
-  put_u8(out, flags);
-  put_u16(out, window);
-  put_u16(out, 0);  // checksum placeholder
-  put_u16(out, 0);  // urgent pointer (unused)
-  if (mss) {
-    put_u8(out, kOptMss);
-    put_u8(out, 4);
-    put_u16(out, *mss);
+  Bytes out(hdr + payload.size());
+  write_header(out.data(), *this, hdr);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + hdr, payload.data(), payload.size());
   }
-  if (orig_dst) {
-    put_u8(out, kOptOrigDst);
-    put_u8(out, 6);
-    put_u32(out, orig_dst->v);
-  }
-  while (out.size() < hdr) put_u8(out, kOptEnd);
-  append(out, payload);
-
-  const std::uint32_t ph_sum =
-      ones_complement_sum(pseudo_header(src_ip, dst_ip, out.size()));
-  const std::uint16_t ck = static_cast<std::uint16_t>(
-      ~ones_complement_sum(out, ph_sum) & 0xffff);
-  set_u16(out, kChecksumOffset, ck);
+  finish_checksum(out.data(), out.size(), src_ip, dst_ip);
   return out;
 }
 
-std::optional<TcpSegment> TcpSegment::parse(BytesView wire, ip::Ipv4 src_ip,
-                                            ip::Ipv4 dst_ip) {
+wire::PacketBuffer TcpSegment::take_wire(ip::Ipv4 src_ip, ip::Ipv4 dst_ip) {
+  const std::size_t hdr = header_bytes();
+  wire::PacketBuffer w = std::move(payload);
+  payload.clear();
+  std::uint8_t* h = w.prepend(hdr);
+  write_header(h, *this, hdr);
+  finish_checksum(h, w.size(), src_ip, dst_ip);
+  return w;
+}
+
+namespace {
+
+/// Header + options parse shared by both overloads; everything except the
+/// payload. Returns the header length, or nullopt on malformed input or
+/// checksum mismatch.
+std::optional<std::size_t> parse_header(BytesView wire, ip::Ipv4 src_ip,
+                                        ip::Ipv4 dst_ip, TcpSegment& seg) {
   if (wire.size() < 20) return std::nullopt;
   const std::size_t hdr = static_cast<std::size_t>(wire[12] >> 4) * 4;
   if (hdr < 20 || hdr > wire.size()) return std::nullopt;
 
   // Verify checksum: one's-complement sum over pseudo-header + segment
   // must fold to 0xffff (i.e. inet checksum over both is 0).
-  const std::uint32_t ph_sum =
-      ones_complement_sum(pseudo_header(src_ip, dst_ip, wire.size()));
+  const std::uint32_t ph_sum = pseudo_header_sum(src_ip, dst_ip, wire.size());
   if (static_cast<std::uint16_t>(~ones_complement_sum(wire, ph_sum) & 0xffff) != 0) {
     return std::nullopt;
   }
 
-  TcpSegment seg;
   seg.src_port = get_u16(wire, 0);
   seg.dst_port = get_u16(wire, 2);
   seg.seq = get_u32(wire, 4);
@@ -116,7 +148,28 @@ std::optional<TcpSegment> TcpSegment::parse(BytesView wire, ip::Ipv4 src_ip,
     }
     off += len;
   }
-  seg.payload.assign(wire.begin() + hdr, wire.end());
+  return hdr;
+}
+
+}  // namespace
+
+std::optional<TcpSegment> TcpSegment::parse(BytesView wire, ip::Ipv4 src_ip,
+                                            ip::Ipv4 dst_ip) {
+  TcpSegment seg;
+  const auto hdr = parse_header(wire, src_ip, dst_ip, seg);
+  if (!hdr) return std::nullopt;
+  seg.payload = wire::PacketBuffer::copy_of(wire.subspan(*hdr));
+  return seg;
+}
+
+std::optional<TcpSegment> TcpSegment::parse(const wire::PacketBuffer& wire,
+                                            ip::Ipv4 src_ip, ip::Ipv4 dst_ip) {
+  TcpSegment seg;
+  const auto hdr = parse_header(wire.view(), src_ip, dst_ip, seg);
+  if (!hdr) return std::nullopt;
+  // Zero-copy: the payload is a slice of the arriving buffer.
+  seg.payload = wire;
+  seg.payload.trim_front(*hdr);
   return seg;
 }
 
@@ -139,6 +192,16 @@ void patch_checksum_for_address_change(Bytes& tcp_wire, ip::Ipv4 old_addr,
   const std::uint16_t old_ck = get_u16(tcp_wire, TcpSegment::kChecksumOffset);
   const std::uint16_t new_ck = checksum_update32(old_ck, old_addr.v, new_addr.v);
   set_u16(tcp_wire, TcpSegment::kChecksumOffset, new_ck);
+}
+
+void patch_checksum_for_address_change(wire::PacketBuffer& tcp_wire,
+                                       ip::Ipv4 old_addr, ip::Ipv4 new_addr) {
+  if (tcp_wire.size() < 20) return;
+  const std::uint16_t old_ck = get_u16(tcp_wire, TcpSegment::kChecksumOffset);
+  const std::uint16_t new_ck = checksum_update32(old_ck, old_addr.v, new_addr.v);
+  // mutable_data() is the copy-on-write gate: exclusive storage patches in
+  // place (the paper's two-byte fix-up); shared storage is unshared first.
+  write_u16(tcp_wire.mutable_data() + TcpSegment::kChecksumOffset, new_ck);
 }
 
 }  // namespace tfo::tcp

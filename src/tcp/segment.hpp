@@ -12,6 +12,7 @@
 #include "common/bytes.hpp"
 #include "common/seq32.hpp"
 #include "ip/addr.hpp"
+#include "wire/packet_buffer.hpp"
 
 namespace tfo::tcp {
 
@@ -36,7 +37,9 @@ struct TcpSegment {
   /// segments the secondary bridge diverts to the primary so the primary
   /// bridge can recover the client address (§3.1).
   std::optional<ip::Ipv4> orig_dst;
-  Bytes payload;
+  /// Shared wire buffer: on rx a zero-copy slice of the arriving frame;
+  /// on tx built once with headroom so serialization prepends in place.
+  wire::PacketBuffer payload;
 
   bool syn() const { return flags & Flags::kSyn; }
   bool fin() const { return flags & Flags::kFin; }
@@ -53,13 +56,34 @@ struct TcpSegment {
   std::size_t header_bytes() const;
 
   /// Serializes with a valid checksum over the RFC 793 pseudo-header for
-  /// the given IP endpoints.
+  /// the given IP endpoints. Legacy copying path, kept as the
+  /// byte-identical reference for take_wire() (and for callers that want
+  /// a detached copy).
   Bytes serialize(ip::Ipv4 src_ip, ip::Ipv4 dst_ip) const;
 
+  /// Zero-copy serialization: prepends the TCP header (with valid
+  /// pseudo-header checksum) into the payload buffer's headroom — in
+  /// place when the storage is exclusively owned — and returns the
+  /// buffer. Consumes the payload (empty afterwards). Byte-identical to
+  /// serialize().
+  wire::PacketBuffer take_wire(ip::Ipv4 src_ip, ip::Ipv4 dst_ip);
+
   /// Parses and verifies the checksum against the pseudo-header. Returns
-  /// nullopt on malformed input or checksum mismatch.
+  /// nullopt on malformed input or checksum mismatch. Copies the payload.
   static std::optional<TcpSegment> parse(BytesView wire, ip::Ipv4 src_ip,
                                          ip::Ipv4 dst_ip);
+
+  /// Zero-copy parse: the returned segment's payload is a slice of
+  /// `wire`'s storage past the TCP header. No byte copies.
+  static std::optional<TcpSegment> parse(const wire::PacketBuffer& wire,
+                                         ip::Ipv4 src_ip, ip::Ipv4 dst_ip);
+
+  /// Disambiguator: a Bytes argument converts equally well to BytesView
+  /// and PacketBuffer, so route it to the view overload explicitly.
+  static std::optional<TcpSegment> parse(const Bytes& wire, ip::Ipv4 src_ip,
+                                         ip::Ipv4 dst_ip) {
+    return parse(BytesView(wire), src_ip, dst_ip);
+  }
 
   /// Byte offset of the 16-bit checksum field within a serialized segment
   /// (for in-place incremental fix-up after address rewrites).
@@ -74,5 +98,12 @@ struct TcpSegment {
 /// fix ("subtract the original bytes ... add the new bytes", §3.1).
 void patch_checksum_for_address_change(Bytes& tcp_wire, ip::Ipv4 old_addr,
                                        ip::Ipv4 new_addr);
+
+/// The same §3.1 fix-up directly on a shared wire buffer: unshares first
+/// (copy-on-write) so a snooped frame whose storage a pending delivery
+/// still references is never corrupted, then patches the two checksum
+/// bytes in place — no parse→mutate→re-serialize round trip.
+void patch_checksum_for_address_change(wire::PacketBuffer& tcp_wire,
+                                       ip::Ipv4 old_addr, ip::Ipv4 new_addr);
 
 }  // namespace tfo::tcp

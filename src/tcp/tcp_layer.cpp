@@ -127,12 +127,14 @@ void TcpLayer::send_segment(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst) {
       case TapVerdict::kDrop: return;
     }
   }
-  send_segment_raw(seg, src, dst);
+  send_segment_raw(std::move(seg), src, dst);
 }
 
-void TcpLayer::send_segment_raw(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
+void TcpLayer::send_segment_raw(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst) {
   if (ctr_segments_sent_) ctr_segments_sent_->inc();
-  ip_.send(ip::Proto::kTcp, src, dst, seg.serialize(src, dst));
+  // take_wire prepends the TCP header into the payload's headroom — in
+  // place whenever this call owns the payload storage exclusively.
+  ip_.send(ip::Proto::kTcp, src, dst, seg.take_wire(src, dst));
 }
 
 void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,

@@ -87,7 +87,10 @@ class TcpLayer {
   void send_segment(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst);
 
   /// Emission bypassing taps (bridge re-emission of merged segments).
-  void send_segment_raw(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
+  /// Takes the segment by value: callers that std::move get an in-place
+  /// header prepend into the payload's headroom; callers that pass an
+  /// lvalue pay one storage share plus a copy-on-write at serialization.
+  void send_segment_raw(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst);
 
   /// Rebinds every connection whose local address is `from` — and for
   /// which `filter` returns true — to `to`, rekeying the demux table

@@ -1,0 +1,118 @@
+#include "wire/packet_buffer.hpp"
+
+#include <ostream>
+
+namespace tfo::wire {
+
+namespace {
+BufferStats g_stats;
+
+std::shared_ptr<PacketBuffer::Storage> make_storage(std::size_t cap) {
+  auto s = std::make_shared<PacketBuffer::Storage>();
+  s->buf.resize(cap);
+  ++g_stats.allocations;
+  g_stats.allocated_bytes += cap;
+  return s;
+}
+}  // namespace
+
+const BufferStats& buffer_stats() { return g_stats; }
+void reset_buffer_stats() { g_stats = BufferStats{}; }
+
+PacketBuffer::PacketBuffer(Bytes b) {
+  len_ = b.size();
+  head_ = 0;
+  storage_ = std::make_shared<Storage>();
+  storage_->buf = std::move(b);
+  ++g_stats.allocations;  // adopted, but a distinct storage block
+  g_stats.allocated_bytes += len_;
+}
+
+PacketBuffer PacketBuffer::copy_of(BytesView src) {
+  PacketBuffer b = alloc(src.size());
+  if (!src.empty()) {
+    std::memcpy(b.storage_->buf.data() + b.head_, src.data(), src.size());
+    ++g_stats.deep_copies;
+    g_stats.copied_bytes += src.size();
+  }
+  return b;
+}
+
+PacketBuffer PacketBuffer::alloc(std::size_t len, std::size_t headroom,
+                                 std::size_t tailroom) {
+  return PacketBuffer(make_storage(headroom + len + tailroom), headroom, len);
+}
+
+PacketBuffer::PacketBuffer(const PacketBuffer& other)
+    : storage_(other.storage_), head_(other.head_), len_(other.len_) {
+  if (storage_) ++g_stats.shares;
+}
+
+PacketBuffer& PacketBuffer::operator=(const PacketBuffer& other) {
+  if (this != &other) {
+    storage_ = other.storage_;
+    head_ = other.head_;
+    len_ = other.len_;
+    if (storage_) ++g_stats.shares;
+  }
+  return *this;
+}
+
+std::uint8_t* PacketBuffer::prepend(std::size_t n) {
+  if (storage_ && storage_.use_count() == 1 && head_ >= n) {
+    head_ -= n;
+    len_ += n;
+    return storage_->buf.data() + head_;
+  }
+  // Reallocate: new storage with headroom for further prepends, visible
+  // range copied behind the freshly claimed header slot.
+  const std::size_t new_head =
+      kDefaultHeadroom >= n ? kDefaultHeadroom - n : 0;
+  PacketBuffer grown(make_storage(new_head + n + len_ + kDefaultTailroom),
+                     new_head, n + len_);
+  if (len_ != 0) {
+    std::memcpy(grown.storage_->buf.data() + new_head + n, data(), len_);
+    ++g_stats.deep_copies;
+    g_stats.copied_bytes += len_;
+  }
+  *this = std::move(grown);
+  return storage_->buf.data() + head_;
+}
+
+std::uint8_t* PacketBuffer::append(std::size_t n) {
+  if (storage_ && storage_.use_count() == 1 &&
+      storage_->buf.size() - head_ - len_ >= n) {
+    std::uint8_t* p = storage_->buf.data() + head_ + len_;
+    std::memset(p, 0, n);
+    len_ += n;
+    return p;
+  }
+  PacketBuffer grown(make_storage(head_ + len_ + n + kDefaultTailroom), head_,
+                     len_ + n);
+  if (len_ != 0) {
+    std::memcpy(grown.storage_->buf.data() + head_, data(), len_);
+    ++g_stats.deep_copies;
+    g_stats.copied_bytes += len_;
+  }
+  std::memset(grown.storage_->buf.data() + head_ + len_, 0, n);
+  *this = std::move(grown);
+  return storage_->buf.data() + head_ + len_ - n;
+}
+
+void PacketBuffer::unshare() {
+  if (!storage_ || storage_.use_count() == 1) return;
+  PacketBuffer fresh = alloc(len_);
+  if (len_ != 0) {
+    std::memcpy(fresh.storage_->buf.data() + fresh.head_, data(), len_);
+    ++g_stats.deep_copies;
+    g_stats.copied_bytes += len_;
+  }
+  *this = std::move(fresh);
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketBuffer& b) {
+  os << "PacketBuffer(" << b.size() << "B)";
+  return os;
+}
+
+}  // namespace tfo::wire

@@ -1,0 +1,192 @@
+// PacketBuffer: the stack's single-allocation wire buffer.
+//
+// The paper's bridge is a rewrite-in-place design — §3.1 patches the
+// destination address of an already-serialized segment and fixes the
+// checksum incrementally. A stack that re-serializes and re-copies the
+// packet at every layer boundary cannot express that operation; this
+// buffer can. It is the simulator's analogue of the kernel sk_buff:
+//
+//   * one contiguous allocation per packet, with reserved *headroom* so
+//     each layer prepends its header in place instead of copying the
+//     payload into a larger buffer;
+//   * offset-based views: parsing a layer strips its header by moving the
+//     logical start forward (trim_front) — no bytes move;
+//   * cheap shared ownership: duplicating a frame to N receivers, or
+//     retaining a payload slice in an OutputQueue, shares the storage and
+//     bumps a refcount;
+//   * copy-on-write: any byte mutation first proves exclusive ownership
+//     (storage refcount == 1) or deep-copies. This is what makes the
+//     §3.1 in-place rewrite safe on a promiscuously snooped frame whose
+//     storage the primary's pending delivery still shares — and what
+//     keeps a header prepend from clobbering a sibling slice retained by
+//     an OutputQueue out of the same storage.
+//
+// All mutating entry points funnel through the refcount discipline;
+// offset-only trims never touch bytes and are therefore always safe on
+// shared storage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <iterator>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace tfo::wire {
+
+/// Process-wide buffer accounting, mirrored into per-host obs snapshots as
+/// net.alloc.* / net.bytes_copied (see OBSERVABILITY.md). The simulation is
+/// single-threaded, so plain integers suffice.
+struct BufferStats {
+  std::uint64_t allocations = 0;    ///< fresh storage blocks created
+  std::uint64_t allocated_bytes = 0;///< capacity of those blocks
+  std::uint64_t deep_copies = 0;    ///< CoW / reallocation byte copies
+  std::uint64_t copied_bytes = 0;   ///< bytes moved by those copies
+  std::uint64_t shares = 0;         ///< zero-copy duplications (refcount bumps)
+};
+
+const BufferStats& buffer_stats();
+void reset_buffer_stats();
+
+class PacketBuffer {
+ public:
+  /// Reference-counted backing block. Public only so the allocation
+  /// helper in the .cpp can construct it; not part of the API.
+  struct Storage {
+    Bytes buf;
+  };
+
+  /// Headroom reserved in front of a payload allocation: enough for the
+  /// largest TCP header (60), the IP header (20) and a future link-layer
+  /// header (14), rounded up.
+  static constexpr std::size_t kDefaultHeadroom = 96;
+  /// Tailroom reserved behind a payload allocation: covers Ethernet
+  /// minimum-frame padding of runt segments without reallocating.
+  static constexpr std::size_t kDefaultTailroom = 46;
+
+  PacketBuffer() = default;
+
+  // Copy/move of the handle shares storage (refcount bump, no byte copy);
+  // the copy operations record the share for the stats counters.
+  PacketBuffer(const PacketBuffer& other);
+  PacketBuffer& operator=(const PacketBuffer& other);
+  PacketBuffer(PacketBuffer&&) noexcept = default;
+  PacketBuffer& operator=(PacketBuffer&&) noexcept = default;
+
+  /// Adopts an existing byte vector (no byte copy; the vector's buffer
+  /// becomes the storage, with zero headroom/tailroom). Implicit on
+  /// purpose: every legacy `frame.payload = some_bytes` call site keeps
+  /// compiling, paying one storage-adoption and nothing else.
+  PacketBuffer(Bytes b);  // NOLINT(google-explicit-constructor)
+
+  /// Fresh storage with default headroom/tailroom, contents copied in.
+  static PacketBuffer copy_of(BytesView src);
+
+  /// Fresh zero-filled storage of `len` payload bytes with the given
+  /// head/tail reserves.
+  static PacketBuffer alloc(std::size_t len,
+                            std::size_t headroom = kDefaultHeadroom,
+                            std::size_t tailroom = kDefaultTailroom);
+
+  /// Replaces contents with [first, last), allocating fresh storage with
+  /// default headroom so later header prepends stay in place.
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    *this = alloc(n);
+    std::uint8_t* p = storage_ ? storage_->buf.data() + head_ : nullptr;
+    for (; first != last; ++first) *p++ = *first;
+  }
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  void clear() {
+    storage_.reset();
+    head_ = len_ = 0;
+  }
+
+  const std::uint8_t* data() const {
+    return storage_ ? storage_->buf.data() + head_ : nullptr;
+  }
+  /// Mutable access — copy-on-write: unshares first.
+  std::uint8_t* mutable_data() {
+    unshare();
+    return storage_ ? storage_->buf.data() + head_ : nullptr;
+  }
+
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+  /// Mutable indexing — copy-on-write: unshares first.
+  std::uint8_t& operator[](std::size_t i) { return mutable_data()[i]; }
+
+  BytesView view() const { return BytesView(data(), len_); }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// Strips `n` bytes from the front by advancing the view offset. Never
+  /// copies; safe on shared storage (this is how rx parsing peels layer
+  /// headers without touching bytes).
+  void trim_front(std::size_t n) {
+    head_ += n;
+    len_ -= n;
+  }
+
+  /// Keeps only the first `n` bytes (n <= size). Never copies; this is
+  /// how IP `total_length` trims Ethernet minimum-frame padding.
+  void trim_to(std::size_t n) {
+    if (n < len_) len_ = n;
+  }
+
+  /// Grows the front by `n` bytes and returns a pointer to the new region
+  /// (a layer's header slot). In place when this buffer exclusively owns
+  /// its storage and headroom suffices; otherwise reallocates — exclusive
+  /// ownership is required even with headroom available, because shared
+  /// storage may carry a sibling slice (or a pending rx delivery) in the
+  /// bytes a prepend would claim.
+  std::uint8_t* prepend(std::size_t n);
+
+  /// Grows the back by `n` zero bytes and returns a pointer to the new
+  /// region (Ethernet runt padding). Same exclusivity rule as prepend.
+  std::uint8_t* append(std::size_t n);
+
+  /// Forces exclusive ownership: deep-copies the visible range into fresh
+  /// storage (with default headroom) when the storage is shared. The
+  /// §3.1 rewrite calls this before patching a snooped frame the
+  /// primary's delivery may still be reading.
+  void unshare();
+
+  /// True when no other PacketBuffer shares this storage.
+  bool unique() const { return !storage_ || storage_.use_count() == 1; }
+  std::size_t headroom() const { return head_; }
+  std::size_t tailroom() const {
+    return storage_ ? storage_->buf.size() - head_ - len_ : 0;
+  }
+
+  friend bool operator==(const PacketBuffer& a, const PacketBuffer& b) {
+    return a.len_ == b.len_ &&
+           (a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0);
+  }
+  friend bool operator!=(const PacketBuffer& a, const PacketBuffer& b) {
+    return !(a == b);
+  }
+
+ private:
+  PacketBuffer(std::shared_ptr<Storage> s, std::size_t head, std::size_t len)
+      : storage_(std::move(s)), head_(head), len_(len) {}
+
+  std::shared_ptr<Storage> storage_;
+  std::size_t head_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// Copies a buffer's contents out into a plain Bytes (test/diagnostic use).
+inline Bytes to_bytes(const PacketBuffer& b) {
+  return Bytes(b.begin(), b.end());
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketBuffer& b);
+
+}  // namespace tfo::wire

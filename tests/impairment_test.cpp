@@ -333,7 +333,7 @@ TEST(ImpairmentMedium, CorruptedCopyDiffersOnTheWire) {
   a->attach(wire);
   b->attach(wire);
   Bytes got;
-  b->set_rx_handler([&](const EthernetFrame& f, bool) { got = f.payload; });
+  b->set_rx_handler([&](const EthernetFrame& f, bool) { got = to_bytes(f.payload); });
   a->send(frame_to(*b, 120, 0x77));
   sim.run();
   ASSERT_EQ(got.size(), 120u);

@@ -161,7 +161,7 @@ TEST_F(IpFixture, DeliverByProtocolToLocalAddress) {
   build();
   Bytes got;
   b->ip().register_protocol(Proto::kHeartbeat,
-                            [&](const IpDatagram& d, const RxMeta&) { got = d.payload; });
+                            [&](const IpDatagram& d, const RxMeta&) { got = to_bytes(d.payload); });
   a->ip().send(Proto::kHeartbeat, Ipv4::any(), b->address(), to_bytes("hb"));
   sim.run();
   EXPECT_EQ(to_string(got), "hb");
@@ -188,7 +188,7 @@ TEST_F(IpFixture, AliasReceivesTraffic) {
   a->arp().add_static(alias, b->nic().mac());
   Bytes got;
   b->ip().register_protocol(Proto::kHeartbeat,
-                            [&](const IpDatagram& d, const RxMeta&) { got = d.payload; });
+                            [&](const IpDatagram& d, const RxMeta&) { got = to_bytes(d.payload); });
   a->ip().send(Proto::kHeartbeat, Ipv4::any(), alias, to_bytes("via-alias"));
   sim.run();
   EXPECT_EQ(to_string(got), "via-alias");
@@ -206,7 +206,7 @@ TEST_F(IpFixture, InboundHookCanRewriteDestination) {
   });
   Bytes got;
   b->ip().register_protocol(Proto::kHeartbeat,
-                            [&](const IpDatagram& d, const RxMeta&) { got = d.payload; });
+                            [&](const IpDatagram& d, const RxMeta&) { got = to_bytes(d.payload); });
   a->ip().send(Proto::kHeartbeat, Ipv4::any(), other, to_bytes("rewritten"));
   sim.run();
   EXPECT_EQ(to_string(got), "rewritten");
@@ -250,7 +250,7 @@ TEST(Router, ForwardsAcrossSegmentsWithTtlDecrement) {
   std::uint8_t got_ttl = 0;
   wan->primary->ip().register_protocol(
       Proto::kHeartbeat, [&](const IpDatagram& d, const RxMeta&) {
-        got = d.payload;
+        got = to_bytes(d.payload);
         got_ttl = d.ttl;
       });
   wan->client->ip().send(Proto::kHeartbeat, Ipv4::any(),

@@ -23,7 +23,7 @@ TEST(OutputQueue, InsertAndExtract) {
   EXPECT_EQ(q.contiguous_at(12), 3u);
   EXPECT_EQ(q.contiguous_at(15), 0u);
   EXPECT_EQ(q.contiguous_at(9), 0u);
-  const Bytes got = q.extract(10, 5);
+  const Bytes got = to_bytes(q.extract(10, 5));
   EXPECT_EQ(got, seq_bytes(10, 5));
   EXPECT_TRUE(q.empty());
 }

@@ -108,8 +108,9 @@ TEST(TcpSegment, IncrementalPatchAfterDstRewrite) {
   for (int trial = 0; trial < 100; ++trial) {
     TcpSegment s = sample();
     s.seq = rng.next_u32();
-    s.payload = Bytes(rng.uniform(0, 300));
-    for (auto& b : s.payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    Bytes random(rng.uniform(0, 300));
+    for (auto& b : random) b = static_cast<std::uint8_t>(rng.next_u32());
+    s.payload = random;
 
     const ip::Ipv4 new_dst{rng.next_u32()};
     Bytes wire = s.serialize(kSrc, kDst);
