@@ -116,6 +116,36 @@ def _check_profiles(profiles):
                     f"profiles[{i}].oracles['{name}'] is not a bool")
 
 
+def _check_storm(storm):
+    _expect(isinstance(storm, dict), "'storm' is not an object")
+    for key in ("points", "alloc"):
+        _expect(key in storm, f"storm missing '{key}'")
+    points = storm["points"]
+    _expect(isinstance(points, list) and points,
+            "storm.points must be a non-empty list")
+    prev_conns = 0
+    for i, p in enumerate(points):
+        _expect(isinstance(p, dict), f"storm.points[{i}] is not an object")
+        for key in ("conns", "bytes_per_conn", "takeover_p50_ns",
+                    "takeover_p99_ns"):
+            _expect(key in p, f"storm.points[{i}] missing '{key}'")
+            _expect(isinstance(p[key], (int, float)) and p[key] >= 0,
+                    f"storm.points[{i}].{key} is not a non-negative number")
+        _expect(p["conns"] > prev_conns,
+                f"storm.points[{i}].conns not strictly increasing")
+        prev_conns = p["conns"]
+        _expect(p["takeover_p99_ns"] >= p["takeover_p50_ns"],
+                f"storm.points[{i}]: p99 below p50")
+    alloc = storm["alloc"]
+    _expect(isinstance(alloc, dict), "storm.alloc is not an object")
+    for key in ("cycles", "legacy_allocs", "wheel_allocs", "ratio"):
+        _expect(key in alloc, f"storm.alloc missing '{key}'")
+        _expect(isinstance(alloc[key], (int, float)) and alloc[key] >= 0,
+                f"storm.alloc.{key} is not a non-negative number")
+    _expect(alloc["ratio"] >= 5,
+            f"storm.alloc.ratio {alloc['ratio']} below the 5x gate")
+
+
 def check_document(doc):
     """Raises SchemaError when `doc` violates the bench artifact schema."""
     _expect(isinstance(doc, dict), "top level is not an object")
@@ -141,6 +171,8 @@ def check_document(doc):
         _check_timeline(host, host_obj["timeline"])
     if "profiles" in doc:
         _check_profiles(doc["profiles"])
+    if "storm" in doc:
+        _check_storm(doc["storm"])
 
 
 def check_file(path):
@@ -194,6 +226,16 @@ def self_test():
             "params": {"loss": 0.02},
             "oracles": {"stream_intact": True, "conserved": True},
         }],
+        "storm": {
+            "points": [
+                {"conns": 1000, "bytes_per_conn": 7000,
+                 "takeover_p50_ns": 2.0e8, "takeover_p99_ns": 2.1e8},
+                {"conns": 100000, "bytes_per_conn": 6800,
+                 "takeover_p50_ns": 2.0e8, "takeover_p99_ns": 3.5e8},
+            ],
+            "alloc": {"cycles": 200000, "legacy_allocs": 400000,
+                      "wheel_allocs": 0, "ratio": 400000.0},
+        },
     }
     check_document(good)
 
@@ -216,6 +258,19 @@ def self_test():
         ("profile negative seed", lambda d: d["profiles"][0].update(seed=-1)),
         ("profile non-bool oracle", lambda d: d["profiles"][0]["oracles"].update(
             {"stream_intact": "yes"})),
+        ("storm missing points", lambda d: d["storm"].pop("points")),
+        ("storm empty points", lambda d: d["storm"].update(points=[])),
+        ("storm point missing p99", lambda d: d["storm"]["points"][0].pop(
+            "takeover_p99_ns")),
+        ("storm p99 below p50", lambda d: d["storm"]["points"][0].update(
+            takeover_p99_ns=1.0)),
+        ("storm conns not increasing", lambda d: d["storm"]["points"][1].update(
+            conns=1000)),
+        ("storm negative bytes", lambda d: d["storm"]["points"][0].update(
+            bytes_per_conn=-1)),
+        ("storm alloc missing ratio", lambda d: d["storm"]["alloc"].pop("ratio")),
+        ("storm ratio below gate", lambda d: d["storm"]["alloc"].update(
+            ratio=2.0)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)

@@ -25,7 +25,8 @@ EchoServer::EchoServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOption
 
 void EchoServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
-  sessions_[raw] = conn;
+  const std::uint64_t id = raw->id();
+  sessions_[id] = conn;
   raw->on_readable = [this, raw] {
     Bytes data;
     raw->recv(data);
@@ -33,7 +34,7 @@ void EchoServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
     if (!data.empty()) raw->send(std::move(data));
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   // Data may have raced ahead of the accept callback.
   if (raw->rx_available() > 0) raw->on_readable();
 }
@@ -47,14 +48,15 @@ SinkServer::SinkServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOption
 
 void SinkServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
-  sessions_[raw] = conn;
+  const std::uint64_t id = raw->id();
+  sessions_[id] = conn;
   raw->on_readable = [this, raw] {
     Bytes data;
     raw->recv(data);
     bytes_ += data.size();
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 
@@ -67,11 +69,12 @@ BlastServer::BlastServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOpti
 
 void BlastServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
-  sessions_[raw] = {conn, {}};
-  raw->on_readable = [this, raw] {
+  const std::uint64_t id = raw->id();
+  sessions_[id] = {conn, {}};
+  raw->on_readable = [this, raw, id] {
     Bytes data;
     raw->recv(data);
-    auto it = sessions_.find(raw);
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     for (std::uint8_t ch : data) {
       if (ch == '\n') {
@@ -83,7 +86,7 @@ void BlastServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
     }
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 

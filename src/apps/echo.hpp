@@ -21,6 +21,11 @@ namespace tfo::apps {
 /// so transferred content can be verified byte-for-byte.
 Bytes deterministic_payload(std::size_t n, std::uint32_t seed = 0);
 
+// Session tables are keyed by Connection::id() — a monotonic counter —
+// never by the Connection's address: under churn the allocator hands a new
+// connection the memory of a dead one, and a pointer key would let it
+// inherit the dead session's state (classic ABA).
+
 class EchoServer {
  public:
   EchoServer(tcp::TcpLayer& tcp, std::uint16_t port, tcp::SocketOptions opts = {});
@@ -29,7 +34,7 @@ class EchoServer {
 
  private:
   void on_accept(std::shared_ptr<tcp::Connection> conn);
-  std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> sessions_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<tcp::Connection>> sessions_;
   std::uint64_t bytes_ = 0;
 };
 
@@ -41,7 +46,7 @@ class SinkServer {
 
  private:
   void on_accept(std::shared_ptr<tcp::Connection> conn);
-  std::unordered_map<tcp::Connection*, std::shared_ptr<tcp::Connection>> sessions_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<tcp::Connection>> sessions_;
   std::uint64_t bytes_ = 0;
 };
 
@@ -57,7 +62,7 @@ class BlastServer {
     std::shared_ptr<tcp::Connection> conn;
     std::string linebuf;
   };
-  std::unordered_map<tcp::Connection*, Session> sessions_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t bytes_ = 0;
 };
 

@@ -21,13 +21,14 @@ void FtpServer::reply(Session& s, const std::string& text) {
 
 void FtpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
+  const std::uint64_t id = raw->id();
   Session s;
   s.ctrl = std::move(conn);
-  sessions_.emplace(raw, std::move(s));
-  reply(sessions_[raw], "220 tfo-ftpd ready");
+  sessions_.emplace(id, std::move(s));
+  reply(sessions_[id], "220 tfo-ftpd ready");
 
-  raw->on_readable = [this, raw] {
-    auto it = sessions_.find(raw);
+  raw->on_readable = [this, raw, id] {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Bytes data;
     raw->recv(data);
@@ -36,20 +37,21 @@ void FtpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
         std::string line = std::move(it->second.linebuf);
         it->second.linebuf.clear();
         if (!line.empty() && line.back() == '\r') line.pop_back();
-        on_line(raw, line);
-        if (!sessions_.contains(raw)) return;  // QUIT may erase
+        on_line(id, line);
+        it = sessions_.find(id);          // QUIT may erase; on_line may rehash
+        if (it == sessions_.end()) return;
       } else {
         it->second.linebuf.push_back(static_cast<char>(ch));
       }
     }
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 
-void FtpServer::on_line(tcp::Connection* ctrl, const std::string& line) {
-  auto it = sessions_.find(ctrl);
+void FtpServer::on_line(std::uint64_t id, const std::string& line) {
+  auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
 
@@ -100,18 +102,18 @@ void FtpServer::start_retr(Session& s, const std::string& name) {
   // with a replicated server this is the §7.2 server-initiated path.
   s.data = tcp_.connect(s.ctrl->key().remote_ip, s.client_data_port, params_.opts,
                         params_.data_port);
-  tcp::Connection* ctrl = s.ctrl.get();
+  const std::uint64_t id = s.ctrl->id();
   // Send the file as soon as the connection exists; close afterwards.
   const Bytes& content = file->second;
-  s.data->on_established = [this, ctrl, content] {
-    auto it = sessions_.find(ctrl);
+  s.data->on_established = [this, id, content] {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Session& sess = it->second;
     sess.data->send(content);
     sess.data->close();
   };
-  s.data->on_closed = [this, ctrl](tcp::CloseReason r) {
-    auto it = sessions_.find(ctrl);
+  s.data->on_closed = [this, id](tcp::CloseReason r) {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Session& sess = it->second;
     sess.data.reset();
@@ -131,16 +133,16 @@ void FtpServer::start_stor(Session& s, const std::string& name) {
   s.incoming.clear();
   s.data = tcp_.connect(s.ctrl->key().remote_ip, s.client_data_port, params_.opts,
                         params_.data_port);
-  tcp::Connection* ctrl = s.ctrl.get();
+  const std::uint64_t id = s.ctrl->id();
   tcp::Connection* data = s.data.get();
-  s.data->on_readable = [this, ctrl, data] {
-    auto it = sessions_.find(ctrl);
+  s.data->on_readable = [this, id, data] {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     data->recv(it->second.incoming);
   };
   s.data->on_peer_fin = [data] { data->close(); };
-  s.data->on_closed = [this, ctrl](tcp::CloseReason r) {
-    auto it = sessions_.find(ctrl);
+  s.data->on_closed = [this, id](tcp::CloseReason r) {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Session& sess = it->second;
     if (r == tcp::CloseReason::kGraceful) {

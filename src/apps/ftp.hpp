@@ -48,7 +48,7 @@ class FtpServer {
   };
 
   void on_accept(std::shared_ptr<tcp::Connection> conn);
-  void on_line(tcp::Connection* ctrl, const std::string& line);
+  void on_line(std::uint64_t id, const std::string& line);
   void start_retr(Session& s, const std::string& name);
   void start_stor(Session& s, const std::string& name);
   void reply(Session& s, const std::string& text);
@@ -56,7 +56,9 @@ class FtpServer {
   tcp::TcpLayer& tcp_;
   Params params_;
   std::map<std::string, Bytes> fs_;
-  std::unordered_map<tcp::Connection*, Session> sessions_;
+  // Keyed by Connection::id(), not the pointer: a recycled allocation
+  // must not inherit a dead session's state (ABA).
+  std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t transfers_ = 0;
 };
 

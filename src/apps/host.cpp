@@ -38,6 +38,17 @@ Host::Host(sim::Simulator& sim, HostParams params, net::Medium& medium)
   ctr_alloc_copies_ = &reg.counter("net.alloc.copies");
   ctr_alloc_shares_ = &reg.counter("net.alloc.shares");
   ctr_bytes_copied_ = &reg.counter("net.bytes_copied");
+
+  // Scheduler instrumentation mirror, same delta-since-construction
+  // scheme (the Simulator is shared by every host in the topology).
+  sim_baseline_ = sim_.stats();
+  ctr_sim_scheduled_ = &reg.counter("sim.wheel.scheduled");
+  ctr_sim_cancelled_ = &reg.counter("sim.wheel.cancelled");
+  ctr_sim_fired_ = &reg.counter("sim.wheel.fired");
+  ctr_sim_wheel_inserts_ = &reg.counter("sim.wheel.inserts");
+  ctr_sim_heap_inserts_ = &reg.counter("sim.wheel.heap_inserts");
+  ctr_sim_cascades_ = &reg.counter("sim.wheel.cascades");
+  gau_sim_pool_events_ = &reg.gauge("sim.wheel.pool_events");
 }
 
 void Host::refresh_wire_counters() const {
@@ -64,6 +75,31 @@ void Host::refresh_wire_counters() const {
          wire_published_.copied_bytes);
 }
 
+void Host::refresh_sim_counters() const {
+  const sim::Simulator::Stats& now = sim_.stats();
+  const auto mirror = [](obs::Counter* c, std::uint64_t now_v, std::uint64_t base,
+                         std::uint64_t& published) {
+    const std::uint64_t delta = now_v >= base ? now_v - base : now_v;
+    if (delta > published) {
+      c->inc(delta - published);
+      published = delta;
+    }
+  };
+  mirror(ctr_sim_scheduled_, now.scheduled, sim_baseline_.scheduled,
+         sim_published_.scheduled);
+  mirror(ctr_sim_cancelled_, now.cancelled, sim_baseline_.cancelled,
+         sim_published_.cancelled);
+  mirror(ctr_sim_fired_, now.fired, sim_baseline_.fired, sim_published_.fired);
+  mirror(ctr_sim_wheel_inserts_, now.wheel_inserts, sim_baseline_.wheel_inserts,
+         sim_published_.wheel_inserts);
+  mirror(ctr_sim_heap_inserts_, now.heap_inserts, sim_baseline_.heap_inserts,
+         sim_published_.heap_inserts);
+  mirror(ctr_sim_cascades_, now.cascades, sim_baseline_.cascades,
+         sim_published_.cascades);
+  // Pool footprint is a point-in-time value, not a delta.
+  gau_sim_pool_events_->set(static_cast<std::int64_t>(now.pool_events));
+}
+
 void Host::fail() {
   failed_ = true;
   nic_->set_enabled(false);
@@ -72,6 +108,7 @@ void Host::fail() {
 
 std::string Host::snapshot_json() const {
   refresh_wire_counters();
+  refresh_sim_counters();
   obs::JsonWriter w;
   w.begin_object();
   w.key("host").value(params_.name);

@@ -63,6 +63,7 @@ class Host {
   /// Point-in-time copy of every metric this host's components publish.
   obs::Snapshot metrics_snapshot() const {
     refresh_wire_counters();
+    refresh_sim_counters();
     return obs_.registry.snapshot();
   }
 
@@ -79,6 +80,13 @@ class Host {
   /// identical runs construct their hosts at identical points in the
   /// global allocation sequence.
   void refresh_wire_counters() const;
+
+  /// Mirrors the shared Simulator's scheduler instrumentation into this
+  /// host's registry as sim.wheel.* counters. Like the wire counters, the
+  /// stats belong to a shared object (every host in a topology runs on
+  /// one Simulator), so each host publishes the delta since its own
+  /// construction.
+  void refresh_sim_counters() const;
 
   sim::Simulator& sim_;
   obs::Hub obs_;
@@ -97,6 +105,17 @@ class Host {
   obs::Counter* ctr_alloc_copies_ = nullptr;
   obs::Counter* ctr_alloc_shares_ = nullptr;
   obs::Counter* ctr_bytes_copied_ = nullptr;
+
+  // Scheduler instrumentation mirror (see refresh_sim_counters).
+  sim::Simulator::Stats sim_baseline_;
+  mutable sim::Simulator::Stats sim_published_;
+  obs::Counter* ctr_sim_scheduled_ = nullptr;
+  obs::Counter* ctr_sim_cancelled_ = nullptr;
+  obs::Counter* ctr_sim_fired_ = nullptr;
+  obs::Counter* ctr_sim_wheel_inserts_ = nullptr;
+  obs::Counter* ctr_sim_heap_inserts_ = nullptr;
+  obs::Counter* ctr_sim_cascades_ = nullptr;
+  obs::Gauge* gau_sim_pool_events_ = nullptr;
 };
 
 }  // namespace tfo::apps

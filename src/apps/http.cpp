@@ -17,9 +17,10 @@ void HttpServer::add_document(const std::string& path, Bytes body,
 
 void HttpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
-  sessions_[raw] = {std::move(conn), {}};
-  raw->on_readable = [this, raw] {
-    auto it = sessions_.find(raw);
+  const std::uint64_t id = raw->id();
+  sessions_[id] = {std::move(conn), {}};
+  raw->on_readable = [this, raw, id] {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Bytes data;
     raw->recv(data);
@@ -30,7 +31,7 @@ void HttpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
     handle_request(raw, it->second.buf.substr(0, end));
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 

@@ -44,7 +44,9 @@ class HttpServer {
   void handle_request(tcp::Connection* conn, const std::string& request);
 
   std::map<std::string, Document> docs_;
-  std::unordered_map<tcp::Connection*, Session> sessions_;
+  // Keyed by Connection::id(), not the pointer: a recycled allocation
+  // must not inherit a dead session's buffer (ABA).
+  std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t requests_ = 0;
   std::uint64_t not_found_ = 0;
 };

@@ -24,13 +24,14 @@ StoreServer::StoreServer(tcp::TcpLayer& tcp, std::uint16_t port,
 
 void StoreServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
+  const std::uint64_t id = raw->id();
   Session s;
   s.conn = std::move(conn);
   for (const auto& item : catalog_) s.stock[item.name] = item.stock;
-  sessions_.emplace(raw, std::move(s));
+  sessions_.emplace(id, std::move(s));
 
-  raw->on_readable = [this, raw] {
-    auto it = sessions_.find(raw);
+  raw->on_readable = [this, raw, id] {
+    auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Bytes data;
     raw->recv(data);
@@ -51,7 +52,7 @@ void StoreServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
     }
   };
   raw->on_peer_fin = [raw] { raw->close(); };
-  raw->on_closed = [this, raw](tcp::CloseReason) { sessions_.erase(raw); };
+  raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 

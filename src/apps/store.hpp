@@ -56,7 +56,9 @@ class StoreServer {
   std::string handle(Session& s, const std::string& line);
 
   std::vector<StoreItem> catalog_;
-  std::unordered_map<tcp::Connection*, Session> sessions_;
+  // Keyed by Connection::id(), not the pointer: a recycled allocation
+  // must not inherit a dead session's stock view (ABA).
+  std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t orders_ = 0;
   std::uint64_t requests_ = 0;
 };

@@ -10,7 +10,7 @@ using tcp::TapVerdict;
 using tcp::TcpSegment;
 
 PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
-    : host_(host), cfg_(std::move(cfg)) {
+    : host_(host), cfg_(std::move(cfg)), sweep_timer_(host.simulator()) {
   tombstone_ttl_ = 4 * host_.tcp().params().msl;
   auto& reg = host_.obs().registry;
   ctr_merged_ = &reg.counter("bridge.merged_segments");
@@ -36,8 +36,8 @@ PrimaryBridge::~PrimaryBridge() {
 }
 
 BridgeConn* PrimaryBridge::find(const ConnKey& key) {
-  auto it = conns_.find(key);
-  return it == conns_.end() ? nullptr : it->second.get();
+  auto* v = conns_.find_value(key);
+  return v == nullptr ? nullptr : v->get();
 }
 
 std::uint64_t PrimaryBridge::merged_segments_sent() const {
@@ -84,17 +84,16 @@ bool PrimaryBridge::is_failover(const ConnKey& key) const {
 }
 
 BridgeConn& PrimaryBridge::conn_for(const ConnKey& key) {
-  auto it = conns_.find(key);
-  if (it == conns_.end()) {
-    it = conns_.emplace(key, std::make_unique<BridgeConn>(*this, key, cfg_.secondary_addr))
-             .first;
-    it->second->attach_obs(&host_.obs(), &host_.simulator());
-    if (secondary_failed_) it->second->on_secondary_failed();
+  auto r = conns_.try_emplace(key);
+  if (r.second) {
+    *r.first = std::make_unique<BridgeConn>(*this, key, cfg_.secondary_addr);
+    (*r.first)->attach_obs(&host_.obs(), &host_.simulator());
+    if (secondary_failed_) (*r.first)->on_secondary_failed();
     publish_gauges();
     note_event(obs::EventKind::kConnCreated, key);
     TFO_LOG(kDebug, "bridge") << "primary bridge: new connection " << key.str();
   }
-  return *it->second;
+  return **r.first;
 }
 
 // ------------------------------------------------------------------ taps
@@ -172,18 +171,18 @@ void PrimaryBridge::emit(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
 
 void PrimaryBridge::rekey_local(ip::Ipv4 from, ip::Ipv4 to) {
   std::vector<std::unique_ptr<BridgeConn>> moved;
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->first.local_ip == from) {
-      moved.push_back(std::move(it->second));
-      it = conns_.erase(it);
-    } else {
-      ++it;
+  std::vector<ConnKey> old_keys;
+  conns_.for_each([&](const ConnKey& key, std::unique_ptr<BridgeConn>& conn) {
+    if (key.local_ip == from) {
+      moved.push_back(std::move(conn));
+      old_keys.push_back(key);
     }
-  }
+  });
+  for (const ConnKey& key : old_keys) conns_.erase(key);
   for (auto& conn : moved) {
     conn->rebind_local(to);
     const ConnKey key = conn->key();
-    conns_.emplace(key, std::move(conn));
+    conns_.insert_or_assign(key, std::move(conn));
   }
 }
 
@@ -221,34 +220,56 @@ void PrimaryBridge::fully_closed(const ConnKey& key) {
 }
 
 void PrimaryBridge::schedule_removal(const ConnKey& key) {
-  tombstones_[key] = host_.simulator().now() + static_cast<SimTime>(tombstone_ttl_);
+  const SimTime expiry =
+      host_.simulator().now() + static_cast<SimTime>(tombstone_ttl_);
+  tombstones_.insert_or_assign(key, expiry);
   note_event(obs::EventKind::kTombstoneCreated, key,
              "ttl_ns=" + std::to_string(tombstone_ttl_));
   publish_gauges();
-  // Deferred: we may be inside this connection's own event handler. The
-  // sentinel keeps the events inert if the bridge is replaced meanwhile.
-  host_.simulator().schedule_after(
-      0, [this, key, w = std::weak_ptr<bool>(alive_)] {
-        if (!w.expired()) {
-          conns_.erase(key);
-          publish_gauges();
-        }
-      });
-  // Opportunistic tombstone expiry.
-  host_.simulator().schedule_after(
-      tombstone_ttl_, [this, w = std::weak_ptr<bool>(alive_)] {
-        if (w.expired()) return;
-        const SimTime now = host_.simulator().now();
-        for (auto it = tombstones_.begin(); it != tombstones_.end();) {
-          if (it->second <= now) {
-            note_event(obs::EventKind::kTombstoneExpired, it->first);
-            it = tombstones_.erase(it);
-          } else {
-            ++it;
-          }
-        }
-        publish_gauges();
-      });
+  arm_tombstone_sweep(expiry);
+  // Deferred erase: we may be inside this connection's own event handler.
+  // Removals arriving in the same instant share one event (a mass-close
+  // storm would otherwise schedule one per connection). The sentinel
+  // keeps the event inert if the bridge is replaced meanwhile.
+  pending_removals_.push_back(key);
+  if (!removal_scheduled_) {
+    removal_scheduled_ = true;
+    host_.simulator().schedule_after(0, [this, w = std::weak_ptr<bool>(alive_)] {
+      if (w.expired()) return;
+      removal_scheduled_ = false;
+      for (const ConnKey& k : pending_removals_) conns_.erase(k);
+      pending_removals_.clear();
+      publish_gauges();
+    });
+  }
+}
+
+void PrimaryBridge::arm_tombstone_sweep(SimTime deadline) {
+  // One timer tracks the earliest pending expiry; sweeping re-arms it for
+  // the next. Entries all share one TTL, so a later insert never needs to
+  // pull the deadline earlier.
+  if (sweep_timer_.armed() && sweep_timer_.deadline() <= deadline) return;
+  sweep_timer_.start(static_cast<SimDuration>(deadline - host_.simulator().now()),
+                     [this] { sweep_tombstones(); });
+}
+
+void PrimaryBridge::sweep_tombstones() {
+  const SimTime now = host_.simulator().now();
+  std::vector<ConnKey> expired;
+  SimTime next = 0;
+  tombstones_.for_each([&](const ConnKey& key, SimTime deadline) {
+    if (deadline <= now) {
+      expired.push_back(key);
+    } else if (next == 0 || deadline < next) {
+      next = deadline;
+    }
+  });
+  for (const ConnKey& key : expired) {
+    note_event(obs::EventKind::kTombstoneExpired, key);
+    tombstones_.erase(key);
+  }
+  publish_gauges();
+  if (next != 0) arm_tombstone_sweep(next);
 }
 
 bool PrimaryBridge::tombstoned(const ConnKey& key) const {
@@ -314,7 +335,9 @@ void PrimaryBridge::on_secondary_failed() {
   host_.obs().timeline.record(host_.simulator().now(),
                               obs::EventKind::kSecondaryFailed, {},
                               "conns=" + std::to_string(conns_.size()));
-  for (auto& [key, conn] : conns_) conn->on_secondary_failed();
+  conns_.for_each([](const ConnKey&, std::unique_ptr<BridgeConn>& conn) {
+    conn->on_secondary_failed();
+  });
 }
 
 }  // namespace tfo::core

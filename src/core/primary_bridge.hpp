@@ -13,12 +13,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "apps/host.hpp"
+#include "common/flat_map.hpp"
 #include "core/bridge_conn.hpp"
 #include "core/failover_config.hpp"
+#include "sim/timer.hpp"
 
 namespace tfo::core {
 
@@ -94,6 +95,12 @@ class PrimaryBridge : public BridgeConnSink {
   BridgeConn& conn_for(const tcp::ConnKey& key);
   void schedule_removal(const tcp::ConnKey& key);
   bool tombstoned(const tcp::ConnKey& key) const;
+  /// (Re)arms the sweep timer for the earliest tombstone deadline.
+  void arm_tombstone_sweep(SimTime deadline);
+  /// Timer-driven tombstone expiry: runs at the earliest deadline and
+  /// re-arms for the next one, so an idle bridge still drains its table
+  /// (the old expiry only ran opportunistically on incoming traffic).
+  void sweep_tombstones();
   void ack_stray_fin_from_remote(const tcp::TcpSegment& seg, ip::Ipv4 remote,
                                  ip::Ipv4 local);
   void ack_stray_fin_from_secondary(const tcp::TcpSegment& seg);
@@ -104,13 +111,20 @@ class PrimaryBridge : public BridgeConnSink {
   apps::Host& host_;
   FailoverConfig cfg_;
   std::optional<ip::Ipv4> upstream_;
-  std::unordered_map<tcp::ConnKey, std::unique_ptr<BridgeConn>> conns_;
+  FlatMap<tcp::ConnKey, std::unique_ptr<BridgeConn>, tcp::ConnKeyHash> conns_;
   /// Connections exempt from bridging (pre-dating this bridge).
-  std::unordered_set<tcp::ConnKey> excluded_;
+  FlatSet<tcp::ConnKey, tcp::ConnKeyHash> excluded_;
   /// Recently closed connections (§8: the bridge must still acknowledge
-  /// FIN retransmissions after deleting a connection's data structures).
-  std::unordered_map<tcp::ConnKey, SimTime> tombstones_;
+  /// FIN retransmissions after deleting a connection's data structures),
+  /// keyed to their expiry time. Drained by sweep_timer_.
+  FlatMap<tcp::ConnKey, SimTime, tcp::ConnKeyHash> tombstones_;
   SimDuration tombstone_ttl_;
+  sim::Timer sweep_timer_;
+  /// Connections awaiting deferred erase (batched into one event per
+  /// simulation instant instead of one per removal — a mass close storm
+  /// must not flood the scheduler).
+  std::vector<tcp::ConnKey> pending_removals_;
+  bool removal_scheduled_ = false;
   bool secondary_failed_ = false;
   tcp::TapId out_tap_ = 0, in_tap_ = 0;
   /// Liveness sentinel for deferred events (tombstone expiry, deferred

@@ -4,6 +4,12 @@
 // cancels the pending callback, so a destroyed connection can never be
 // called back — the idiomatic fix for the classic "timer fires into freed
 // TCB" lifetime bug.
+//
+// The callback is stored in the Timer itself and the simulator event is
+// just `[this] { fire(); }` — small enough for std::function's inline
+// buffer. On the timing-wheel scheduler an arm/cancel/re-arm cycle
+// therefore performs no heap allocation at all (the dominant timer pattern
+// in a TCP stack: every ACKed segment re-arms the retransmit timer).
 #pragma once
 
 #include <functional>
@@ -23,19 +29,18 @@ class Timer {
   /// (Re)arms the timer to fire `d` from now. A pending arm is cancelled.
   void start(SimDuration d, std::function<void()> fn) {
     stop();
+    fn_ = std::move(fn);
     deadline_ = sim_->now() + static_cast<SimTime>(d < 0 ? 0 : d);
-    id_ = sim_->schedule_after(d, [this, fn = std::move(fn)] {
-      id_ = kNoEvent;
-      fn();
-    });
+    id_ = sim_->schedule_at(deadline_, [this] { fire(); });
   }
 
-  /// Cancels the pending callback, if any.
+  /// Cancels the pending callback, if any, releasing it eagerly.
   void stop() {
     if (id_ != kNoEvent) {
       sim_->cancel(id_);
       id_ = kNoEvent;
     }
+    fn_ = nullptr;
   }
 
   bool armed() const { return id_ != kNoEvent; }
@@ -44,7 +49,17 @@ class Timer {
   SimTime deadline() const { return deadline_; }
 
  private:
+  void fire() {
+    id_ = kNoEvent;
+    // Run from a local so the callback may restart — or even destroy —
+    // this Timer: after the move, fire() never touches members again.
+    std::function<void()> fn = std::move(fn_);
+    fn_ = nullptr;
+    fn();
+  }
+
   Simulator* sim_;
+  std::function<void()> fn_;
   EventId id_ = kNoEvent;
   SimTime deadline_ = 0;
 };

@@ -26,15 +26,32 @@ struct ConnKey {
   }
 };
 
+/// 64-bit mixed hash over the packed 4-tuple. The demux tables probe on
+/// this for every segment, so it must spread keys that differ only in the
+/// low port bits (the storm workload: thousands of connections between the
+/// same two addresses, consecutive ephemeral ports) — the old ×31 combiner
+/// put those in adjacent buckets and degraded open addressing to linear
+/// scans. splitmix64 finalizer: every input bit avalanches.
+struct ConnKeyHash {
+  std::size_t operator()(const ConnKey& k) const noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(k.local_ip.v) << 32) |
+                      (static_cast<std::uint64_t>(k.local_port) << 16) |
+                      k.remote_port;
+    x ^= static_cast<std::uint64_t>(k.remote_ip.v) * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
 }  // namespace tfo::tcp
 
 template <>
 struct std::hash<tfo::tcp::ConnKey> {
   std::size_t operator()(const tfo::tcp::ConnKey& k) const noexcept {
-    std::size_t h = std::hash<std::uint32_t>{}(k.local_ip.v);
-    h = h * 31 + k.local_port;
-    h = h * 31 + std::hash<std::uint32_t>{}(k.remote_ip.v);
-    h = h * 31 + k.remote_port;
-    return h;
+    return tfo::tcp::ConnKeyHash{}(k);
   }
 };

@@ -28,6 +28,7 @@ Connection::Connection(TcpLayer& owner, ConnKey key, TcpParams params,
                        bool failover_flagged)
     : owner_(owner),
       key_(key),
+      id_(owner.allocate_conn_id()),
       params_(params),
       failover_flagged_(failover_flagged),
       nodelay_(!params.nagle),
@@ -42,6 +43,39 @@ Connection::Connection(TcpLayer& owner, ConnKey key, TcpParams params,
               ? params_.initial_cwnd_segments * params_.mss
               : 0x3fffffffu;
   quickack_left_ = params_.quickack_segments;
+}
+
+Connection::~Connection() { release_all_ooo(); }
+
+// --------------------------------------------- out-of-order stash budget
+
+bool Connection::stash_ooo(std::uint64_t off, wire::PacketBuffer data) {
+  if (ooo_bytes_ + data.size() > params_.ooo_budget_bytes) {
+    // Over budget: refuse to pin another frame. The caller still sends
+    // the dup-ACK, and the sender's retransmission recovers the data.
+    owner_.note_ooo_budget_drop();
+    return false;
+  }
+  const std::size_t n = data.size();
+  if (ooo_.emplace(off, std::move(data)).second) {
+    ooo_bytes_ += n;
+    owner_.note_pinned_delta(static_cast<std::int64_t>(n));
+  }
+  return true;
+}
+
+std::map<std::uint64_t, wire::PacketBuffer>::iterator Connection::drop_ooo_entry(
+    std::map<std::uint64_t, wire::PacketBuffer>::iterator it) {
+  const std::size_t n = it->second.size();
+  ooo_bytes_ -= n;
+  owner_.note_pinned_delta(-static_cast<std::int64_t>(n));
+  return ooo_.erase(it);
+}
+
+void Connection::release_all_ooo() {
+  if (ooo_bytes_ > 0) owner_.note_pinned_delta(-static_cast<std::int64_t>(ooo_bytes_));
+  ooo_bytes_ = 0;
+  ooo_.clear();
 }
 
 std::size_t Connection::send_queue_pending() const {
@@ -629,7 +663,7 @@ void Connection::process_data(const TcpSegment& seg) {
   } else {
     // Out of order: stash and duplicate-ACK to trigger fast retransmit.
     if (!data.empty() && data.size() <= room) {
-      ooo_.emplace(off, std::move(data));
+      stash_ooo(off, std::move(data));
     }
     send_ack_now();
   }
@@ -651,7 +685,7 @@ void Connection::deliver_in_order() {
       bytes_received_total_ += take;
       if (take < run.size() - skip) break;  // buffer full
     }
-    it = ooo_.erase(it);
+    it = drop_ooo_entry(it);
   }
 }
 
@@ -784,8 +818,10 @@ void Connection::teardown(CloseReason reason) {
   persist_timer_.stop();
   time_wait_timer_.stop();
   keepalive_timer_.stop();
-  // Fail any writes still queued.
+  // Fail any writes still queued, and unpin any stashed frames: a closed
+  // connection must not keep frame storage alive until destruction.
   app_writes_.clear();
+  release_all_ooo();
   if (on_closed) on_closed(reason);
   owner_.connection_closed(key_);
 }

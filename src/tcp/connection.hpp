@@ -54,7 +54,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
  public:
   /// Created via TcpLayer::connect / listener accept path only.
   Connection(TcpLayer& owner, ConnKey key, TcpParams params, bool failover_flagged);
-  ~Connection() = default;
+  ~Connection();
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
@@ -86,6 +86,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // ------------------------------------------------------------- state
   TcpState state() const { return state_; }
   const ConnKey& key() const { return key_; }
+  /// Monotonic id assigned at construction, unique for the owning layer's
+  /// lifetime. Applications key session tables on this instead of the
+  /// Connection* (which the allocator recycles) or the 4-tuple (which a
+  /// reconnecting client reuses).
+  std::uint64_t id() const { return id_; }
+  /// PacketBuffer bytes currently pinned by the out-of-order stash.
+  std::size_t ooo_bytes_pinned() const { return ooo_bytes_; }
   bool failover_flagged() const { return failover_flagged_; }
   std::uint64_t bytes_sent_total() const { return bytes_sent_total_; }
   std::uint64_t bytes_received_total() const { return bytes_received_total_; }
@@ -143,6 +150,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void deliver_in_order();
   void on_window_open();
 
+  // Out-of-order stash accounting (pinned-byte budget).
+  bool stash_ooo(std::uint64_t off, wire::PacketBuffer data);
+  std::map<std::uint64_t, wire::PacketBuffer>::iterator drop_ooo_entry(
+      std::map<std::uint64_t, wire::PacketBuffer>::iterator it);
+  void release_all_ooo();
+
   // Lifecycle.
   void enter_established();
   void enter_time_wait();
@@ -151,6 +164,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   TcpLayer& owner_;
   ConnKey key_;
+  std::uint64_t id_;
   TcpParams params_;
   bool failover_flagged_;
   bool nodelay_ = false;
@@ -185,8 +199,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t rcv_nxt_ = 0;
   Bytes rx_buf_;
   // Out-of-order runs by offset: zero-copy slices of the frames the data
-  // arrived in, retained until the gap below them fills.
+  // arrived in, retained until the gap below them fills. ooo_bytes_ is
+  // the pinned-slice total, bounded by params_.ooo_budget_bytes and
+  // mirrored into the layer-wide tcp.conn_bytes_pinned gauge.
   std::map<std::uint64_t, wire::PacketBuffer> ooo_;
+  std::size_t ooo_bytes_ = 0;
   std::optional<std::uint64_t> peer_fin_offset_;
   bool peer_fin_delivered_ = false;
   int segs_since_ack_ = 0;

@@ -45,6 +45,14 @@ struct TcpParams {
   /// default so experiments with thousands of connections stay fast.
   SimDuration msl = milliseconds(500);
 
+  /// Cap on the PacketBuffer bytes one connection may pin in its
+  /// out-of-order stash. Each stashed slice shares (pins) the storage of
+  /// the frame it arrived in, so without a cap a reordering burst across
+  /// 100k connections multiplies frame lifetimes unboundedly. Segments
+  /// beyond the budget are dropped — TCP-legal: the dup-ACK still goes
+  /// out and the sender's retransmission delivers the data in order.
+  std::size_t ooo_budget_bytes = 256 * 1024;
+
   /// Congestion control (slow start + AIMD). Disable for an unlimited
   /// window (useful in controlled unit tests).
   bool congestion_control = true;

@@ -21,7 +21,8 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   if (!hub) {
     ctr_segments_sent_ = ctr_segments_received_ = ctr_segments_malformed_ = nullptr;
     ctr_rst_sent_ = ctr_conns_opened_ = ctr_conns_accepted_ = nullptr;
-    gau_connections_ = nullptr;
+    ctr_ooo_budget_drops_ = nullptr;
+    gau_connections_ = gau_pinned_bytes_ = nullptr;
     return;
   }
   auto& reg = hub->registry;
@@ -31,7 +32,19 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   ctr_rst_sent_ = &reg.counter("tcp.rst_sent");
   ctr_conns_opened_ = &reg.counter("tcp.connections_opened");
   ctr_conns_accepted_ = &reg.counter("tcp.connections_accepted");
+  ctr_ooo_budget_drops_ = &reg.counter("tcp.ooo_dropped_budget");
   gau_connections_ = &reg.gauge("tcp.connections");
+  gau_pinned_bytes_ = &reg.gauge("tcp.conn_bytes_pinned");
+  gau_pinned_bytes_->set(pinned_bytes_);
+}
+
+void TcpLayer::note_pinned_delta(std::int64_t delta) {
+  pinned_bytes_ += delta;
+  if (gau_pinned_bytes_) gau_pinned_bytes_->set(pinned_bytes_);
+}
+
+void TcpLayer::note_ooo_budget_drop() {
+  if (ctr_ooo_budget_drops_) ctr_ooo_budget_drops_->inc();
 }
 
 Seq32 TcpLayer::generate_isn() {
@@ -50,17 +63,17 @@ std::uint16_t TcpLayer::allocate_ephemeral_port() {
   for (int i = 0; i < 16384; ++i) {
     const std::uint16_t port = next_ephemeral_;
     next_ephemeral_ = next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
-    bool in_use = listeners_.contains(port);
-    for (const auto& [key, conn] : conns_) {
-      if (key.local_port == port) {
-        in_use = true;
-        break;
-      }
-    }
-    if (!in_use) return port;
+    if (!listeners_.contains(port) && port_use_[port] == 0) return port;
   }
   TFO_ASSERT(false, "ephemeral port space exhausted");
   return 0;
+}
+
+void TcpLayer::insert_conn(const ConnKey& key, std::shared_ptr<Connection> conn) {
+  auto r = conns_.try_emplace(key);
+  if (r.second) ++port_use_[key.local_port];
+  *r.first = std::move(conn);
+  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
 }
 
 void TcpLayer::listen(std::uint16_t port, AcceptHandler on_accept, SocketOptions opts) {
@@ -85,16 +98,15 @@ std::shared_ptr<Connection> TcpLayer::connect(ip::Ipv4 remote_ip,
   key.remote_port = remote_port;
   auto conn = std::make_shared<Connection>(*this, key, params_, opts.failover);
   if (opts.nodelay) conn->set_nodelay(true);
-  conns_[key] = conn;
+  insert_conn(key, conn);
   if (ctr_conns_opened_) ctr_conns_opened_->inc();
-  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   conn->start_active_open();
   return conn;
 }
 
 std::shared_ptr<Connection> TcpLayer::find(const ConnKey& key) const {
-  auto it = conns_.find(key);
-  return it == conns_.end() ? nullptr : it->second;
+  const auto* v = conns_.find_value(key);
+  return v == nullptr ? nullptr : *v;
 }
 
 TapId TcpLayer::add_outbound_tap(OutboundTap tap) {
@@ -139,25 +151,27 @@ void TcpLayer::send_segment_raw(TcpSegment seg, ip::Ipv4 src, ip::Ipv4 dst) {
 
 void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
                                    const std::function<bool(const Connection&)>& filter) {
+  // Collect-then-move: FlatMap iterators do not survive erase, and the
+  // move order must not depend on hash-table slot order. Sorting by the
+  // stable connection id keeps the rekey deterministic.
   std::vector<std::shared_ptr<Connection>> moved;
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->first.local_ip == from && (!filter || filter(*it->second))) {
-      moved.push_back(it->second);
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  conns_.for_each([&](const ConnKey& key, const std::shared_ptr<Connection>& conn) {
+    if (key.local_ip == from && (!filter || filter(*conn))) moved.push_back(conn);
+  });
+  std::sort(moved.begin(), moved.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
   for (auto& conn : moved) {
+    if (conns_.erase(conn->key())) --port_use_[conn->key().local_port];
     conn->rebind_local_ip(to);
-    conns_[conn->key()] = std::move(conn);
+    const ConnKey new_key = conn->key();  // read before the move nulls conn
+    insert_conn(new_key, std::move(conn));
   }
 }
 
 void TcpLayer::connection_closed(const ConnKey& key) {
   // Deferred: the connection may be deep in its own call stack.
   sim_.schedule_after(0, [this, key] {
-    conns_.erase(key);
+    if (conns_.erase(key)) --port_use_[key.local_port];
     if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   });
 }
@@ -183,8 +197,8 @@ void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) 
   }
 
   ConnKey key{dst, seg.dst_port, src, seg.src_port};
-  if (auto it = conns_.find(key); it != conns_.end()) {
-    it->second->handle_segment(seg);
+  if (auto* conn = conns_.find_value(key)) {
+    (*conn)->handle_segment(seg);
     return;
   }
   if (seg.syn() && !seg.has_ack()) {
@@ -203,9 +217,8 @@ void TcpLayer::handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4
   ConnKey key{dst, seg.dst_port, src, seg.src_port};
   auto conn = std::make_shared<Connection>(*this, key, params_, it->second.opts.failover);
   if (it->second.opts.nodelay) conn->set_nodelay(true);
-  conns_[key] = conn;
+  insert_conn(key, conn);
   if (ctr_conns_accepted_) ctr_conns_accepted_->inc();
-  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   // Surface the connection to the application when it completes the
   // handshake (BSD semantics: accept returns an ESTABLISHED socket).
   conn->on_established = [conn_weak = std::weak_ptr<Connection>(conn),

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "ip/ip_layer.hpp"
 #include "obs/obs.hpp"
@@ -76,7 +77,8 @@ class TcpLayer {
   /// Iterates over all live connections (diagnostics; bridge attachment
   /// to a host with pre-existing connections).
   void for_each_connection(const std::function<void(const Connection&)>& fn) const {
-    for (const auto& [key, conn] : conns_) fn(*conn);
+    conns_.for_each(
+        [&fn](const ConnKey&, const std::shared_ptr<Connection>& c) { fn(*c); });
   }
 
   TapId add_outbound_tap(OutboundTap tap);
@@ -111,6 +113,16 @@ class TcpLayer {
 
   // Internal (Connection support).
   void connection_closed(const ConnKey& key);
+  /// Monotonic per-layer connection id — never reused, unlike the 4-tuple
+  /// or the Connection's address. Applications key session state on this
+  /// (see src/apps) so a recycled allocation can't inherit stale state.
+  std::uint64_t allocate_conn_id() { return next_conn_id_++; }
+  /// Connections report PacketBuffer bytes they pin (out-of-order slices)
+  /// so the aggregate is visible as the tcp.conn_bytes_pinned gauge.
+  void note_pinned_delta(std::int64_t delta);
+  /// A connection dropped an out-of-order segment because stashing it
+  /// would exceed params().ooo_budget_bytes.
+  void note_ooo_budget_drop();
 
  private:
   struct Listener {
@@ -121,17 +133,24 @@ class TcpLayer {
   void on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta);
   void handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
   void send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
+  void insert_conn(const ConnKey& key, std::shared_ptr<Connection> conn);
 
   sim::Simulator& sim_;
   ip::IpLayer& ip_;
   TcpParams params_;
   Rng rng_;
-  std::unordered_map<ConnKey, std::shared_ptr<Connection>> conns_;
+  FlatMap<ConnKey, std::shared_ptr<Connection>, ConnKeyHash> conns_;
+  /// Live connections per local port: O(1) collision checks in
+  /// allocate_ephemeral_port (the old scan over conns_ made opening N
+  /// connections O(N²) — fatal at storm scale).
+  std::vector<std::uint32_t> port_use_ = std::vector<std::uint32_t>(65536, 0);
   std::unordered_map<std::uint16_t, Listener> listeners_;
   std::vector<std::pair<TapId, OutboundTap>> out_taps_;
   std::vector<std::pair<TapId, InboundTap>> in_taps_;
   TapId next_tap_id_ = 1;
   std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t next_conn_id_ = 1;
+  std::int64_t pinned_bytes_ = 0;
   std::optional<Seq32> forced_isn_;
 
   // Observability handles (null when no hub is attached). The counter
@@ -144,7 +163,9 @@ class TcpLayer {
   obs::Counter* ctr_rst_sent_ = nullptr;
   obs::Counter* ctr_conns_opened_ = nullptr;
   obs::Counter* ctr_conns_accepted_ = nullptr;
+  obs::Counter* ctr_ooo_budget_drops_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
+  obs::Gauge* gau_pinned_bytes_ = nullptr;
 };
 
 }  // namespace tfo::tcp

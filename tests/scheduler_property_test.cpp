@@ -1,0 +1,222 @@
+// Equivalence property test: the timing-wheel scheduler must be
+// observationally identical to the legacy priority-queue scheduler.
+//
+// Strategy: generate a random operation script (schedule with delays that
+// straddle every wheel level, cancel, restart-from-callback, run-for) and
+// replay it against two Simulators — one per SchedulerKind. The contract
+// under test is the one DESIGN.md states: events run in (time,
+// schedule-order) order, negative delays clamp to now, cancels are exact,
+// and same-instant events preserve scheduling order. Any divergence shows
+// up as a mismatch in the (now, label) firing traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace tfo::sim {
+namespace {
+
+// One scripted operation, interpreted identically by both harnesses.
+struct Op {
+  enum Kind { kSchedule, kChainSchedule, kCancel, kRunFor } kind;
+  std::int64_t delay = 0;       // kSchedule / kChainSchedule / kRunFor
+  std::int64_t child_delay = 0; // kChainSchedule: delay of the event the
+                                // callback schedules (restart pattern)
+  std::uint64_t pick = 0;       // kCancel: index into the id list (mod size)
+  std::uint32_t label = 0;
+};
+
+/// Replays a script against one simulator, recording every firing as
+/// (now(), label). Chained events append ids in firing order, so a
+/// kCancel pick resolves to the same logical event on both sides as long
+/// as the traces agree — and if they don't, the trace mismatch is the
+/// failure we're looking for.
+struct Harness {
+  explicit Harness(SchedulerKind kind) : sim(kind) {}
+
+  Simulator sim;
+  std::vector<std::pair<SimTime, std::uint32_t>> trace;
+  std::vector<EventId> ids;
+
+  void schedule(std::int64_t delay, std::uint32_t label) {
+    ids.push_back(sim.schedule_after(delay, [this, label] {
+      trace.emplace_back(sim.now(), label);
+    }));
+  }
+
+  void chain_schedule(std::int64_t delay, std::int64_t child_delay,
+                      std::uint32_t label) {
+    ids.push_back(sim.schedule_after(delay, [this, child_delay, label] {
+      trace.emplace_back(sim.now(), label);
+      // Restart-from-callback: scheduling from inside a firing event.
+      schedule(child_delay, label ^ 0x80000000u);
+    }));
+  }
+
+  void apply(const Op& op) {
+    switch (op.kind) {
+      case Op::kSchedule: schedule(op.delay, op.label); break;
+      case Op::kChainSchedule:
+        chain_schedule(op.delay, op.child_delay, op.label);
+        break;
+      case Op::kCancel:
+        if (!ids.empty()) sim.cancel(ids[op.pick % ids.size()]);
+        break;
+      case Op::kRunFor: sim.run_for(op.delay); break;
+    }
+  }
+};
+
+/// Delay palette spanning the wheel geometry: negative (clamp), zero
+/// (same-instant ordering), sub-tick, every level's slot width, and
+/// beyond the wheel horizon (straight-to-heap path).
+std::int64_t pick_delay(std::mt19937_64& rng) {
+  const std::uint64_t r = rng();
+  switch (r % 8) {
+    case 0: return -static_cast<std::int64_t>(r % 1'000'000);  // clamped
+    case 1: return 0;
+    case 2: return static_cast<std::int64_t>(r % 1000);          // sub-tick
+    case 3: return static_cast<std::int64_t>(r % (1ull << 16));  // ~1 tick
+    case 4: return static_cast<std::int64_t>(r % (1ull << 22));  // level 0/1
+    case 5: return static_cast<std::int64_t>(r % (1ull << 30));  // level 2/3
+    case 6: return static_cast<std::int64_t>(r % (1ull << 40));  // level 4/5
+    default:
+      // Past the wheel horizon (2^(16+36) ns): exact-heap fallback.
+      return static_cast<std::int64_t>((1ull << 53) + r % (1ull << 40));
+  }
+}
+
+std::vector<Op> make_script(std::uint64_t seed, int steps) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> script;
+  script.reserve(steps);
+  std::uint32_t label = 0;
+  for (int i = 0; i < steps; ++i) {
+    const std::uint64_t r = rng();
+    Op op;
+    if (r % 10 < 4) {
+      op.kind = Op::kSchedule;
+      op.delay = pick_delay(rng);
+      op.label = ++label;
+    } else if (r % 10 < 6) {
+      op.kind = Op::kChainSchedule;
+      op.delay = pick_delay(rng);
+      op.child_delay = pick_delay(rng);
+      op.label = ++label;
+    } else if (r % 10 < 8) {
+      op.kind = Op::kCancel;
+      op.pick = rng();
+    } else {
+      op.kind = Op::kRunFor;
+      op.delay = static_cast<std::int64_t>(rng() % (1ull << 32));
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerEquivalence, IdenticalTraces) {
+  const auto script = make_script(GetParam(), 600);
+  Harness wheel(SchedulerKind::kTimingWheel);
+  Harness legacy(SchedulerKind::kLegacyHeap);
+  for (const Op& op : script) {
+    wheel.apply(op);
+    legacy.apply(op);
+    ASSERT_EQ(wheel.sim.now(), legacy.sim.now());
+    ASSERT_EQ(wheel.sim.pending(), legacy.sim.pending());
+  }
+  // Drain both to completion (chains are finite: one child per parent).
+  wheel.sim.run();
+  legacy.sim.run();
+
+  EXPECT_EQ(wheel.trace, legacy.trace);
+  EXPECT_EQ(wheel.sim.now(), legacy.sim.now());
+  EXPECT_EQ(wheel.sim.pending(), 0u);
+  EXPECT_EQ(legacy.sim.pending(), 0u);
+  EXPECT_EQ(wheel.sim.stats().fired, legacy.sim.stats().fired);
+  // The script must actually have exercised the wheel, not just the heap.
+  EXPECT_GT(wheel.sim.stats().wheel_inserts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+TEST(SchedulerEquivalence, NegativeDelayClampsToNow) {
+  for (auto kind : {SchedulerKind::kTimingWheel, SchedulerKind::kLegacyHeap}) {
+    Simulator sim(kind);
+    sim.run_until(1'000'000);
+    std::vector<int> order;
+    sim.schedule_after(-500, [&] { order.push_back(1); });
+    sim.schedule_at(5, [&] { order.push_back(2); });  // past absolute time
+    sim.schedule_after(0, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(sim.now(), 1'000'000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  }
+}
+
+TEST(SchedulerEquivalence, SameTickPreservesScheduleOrder) {
+  // Many events inside one wheel tick (2^16 ns) and at identical instants:
+  // execution must follow schedule order exactly on both schedulers.
+  for (auto kind : {SchedulerKind::kTimingWheel, SchedulerKind::kLegacyHeap}) {
+    Simulator sim(kind);
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at((i % 7) * 100, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    // Stable sort of (time, schedule index) is the expected order.
+    std::vector<int> expect;
+    for (int t = 0; t < 7; ++t) {
+      for (int i = 0; i < 100; ++i) {
+        if (i % 7 == t) expect.push_back(i);
+      }
+    }
+    EXPECT_EQ(order, expect) << "kind=" << static_cast<int>(kind);
+  }
+}
+
+TEST(SchedulerEquivalence, TimerRestartFromCallback) {
+  // sim::Timer rides the wheel: restarting a timer from inside its own
+  // callback (the retransmit pattern) must work on both schedulers.
+  for (auto kind : {SchedulerKind::kTimingWheel, SchedulerKind::kLegacyHeap}) {
+    Simulator sim(kind);
+    Timer timer(sim);
+    int fires = 0;
+    std::function<void()> tick = [&] {
+      if (++fires < 5) timer.start(1000, tick);
+    };
+    timer.start(1000, tick);
+    sim.run();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(sim.now(), 5000);
+    EXPECT_FALSE(timer.armed());
+  }
+}
+
+TEST(SchedulerEquivalence, CancelReleasesClosureEagerly) {
+  // The cancelled event's closure must be destroyed at cancel time (both
+  // schedulers), not when the deadline passes — a cancelled retransmit
+  // timer must not pin its segment buffers for the rest of the run.
+  for (auto kind : {SchedulerKind::kTimingWheel, SchedulerKind::kLegacyHeap}) {
+    Simulator sim(kind);
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> observe = token;
+    EventId id = sim.schedule_after(1'000'000'000, [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(observe.expired());
+    sim.cancel(id);
+    EXPECT_TRUE(observe.expired()) << "kind=" << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace tfo::sim

@@ -1,0 +1,103 @@
+// Regression tests for session-key ABA under connection churn.
+//
+// The application servers keep per-connection session state in maps that
+// were historically keyed by the Connection's address. Under churn the
+// allocator hands a new connection the memory of a dead one, so a
+// pointer key lets the new connection inherit the dead session's state —
+// or lets the dead connection's deferred on_closed erase the *new*
+// session. The maps are now keyed by Connection::id(), a monotonic
+// counter that is never reused. These tests hammer connect/use/close
+// cycles and assert (a) every cycle sees fresh per-connection state and
+// (b) the session tables drain to empty.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "apps/echo.hpp"
+#include "apps/store.hpp"
+#include "apps/topology.hpp"
+#include "test_util.hpp"
+
+namespace tfo::apps {
+namespace {
+
+using test::run_until;
+
+struct ChurnFixture : ::testing::Test {
+  std::unique_ptr<Lan> lan = make_lan();
+  sim::Simulator& sim() { return lan->sim; }
+};
+
+TEST_F(ChurnFixture, StoreStateIsFreshAcrossChurn) {
+  StoreServer server(lan->primary->tcp(), 8000);
+  // Each cycle exhausts an item's per-connection stock and quits. If a
+  // later connection ever inherited an earlier session (ABA), its BUY
+  // would see the drained stock and answer NOSTOCK.
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    auto client = std::make_unique<StoreClient>(
+        lan->client->tcp(), lan->primary->address(), 8000);
+    client->request("BROWSE scale");
+    client->request("BUY scale 7");
+    client->request("BROWSE scale");
+    ASSERT_TRUE(run_until(sim(), [&] { return client->replies().size() >= 3; }))
+        << "cycle " << cycle;
+    const auto& r = client->replies();
+    EXPECT_EQ(r[0], "ITEM scale 2199 7") << "stale session state, cycle " << cycle;
+    EXPECT_EQ(r[1].rfind("OK 1 ", 0), 0u) << "stale order counter, cycle " << cycle;
+    EXPECT_EQ(r[2], "ITEM scale 2199 0") << "cycle " << cycle;
+    client->quit();
+    ASSERT_TRUE(run_until(sim(), [&] { return client->closed(); }));
+    client.reset();
+    // Let teardown (deferred closes, TIME_WAIT turnover) fully settle so
+    // the next cycle races against recycled allocations, not live state.
+    sim().run_for(milliseconds(1));
+  }
+}
+
+TEST_F(ChurnFixture, EchoSessionsDrainUnderOverlappingChurn) {
+  EchoServer server(lan->primary->tcp(), 7000);
+  // Overlapping churn: batches of connections that close out of order,
+  // so deferred on_closed callbacks interleave with fresh accepts.
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::shared_ptr<tcp::Connection>> conns;
+    for (int i = 0; i < 6; ++i) {
+      auto c = lan->client->tcp().connect(lan->primary->address(), 7000, {});
+      c->on_established = [raw = c.get()] { raw->send(to_bytes("ping")); };
+      conns.push_back(std::move(c));
+    }
+    ASSERT_TRUE(run_until(sim(), [&] { return server.live_sessions() >= 6; }))
+        << "round " << round;
+    // Close even-indexed first, then odd, so erase order differs from
+    // accept order.
+    for (std::size_t i = 0; i < conns.size(); i += 2) conns[i]->close();
+    sim().run_for(milliseconds(5));
+    for (std::size_t i = 1; i < conns.size(); i += 2) conns[i]->close();
+    ASSERT_TRUE(run_until(sim(), [&] { return server.live_sessions() == 0; }))
+        << "round " << round << " leaked sessions: " << server.live_sessions();
+  }
+  EXPECT_GT(server.bytes_echoed(), 0u);
+}
+
+TEST_F(ChurnFixture, ConnectionIdsAreNeverReused) {
+  // The key property the session maps rely on: ids are unique for the
+  // lifetime of the TcpLayer even as Connection objects are recycled.
+  std::set<std::uint64_t> seen;
+  EchoServer server(lan->primary->tcp(), 7000);
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    auto c = lan->client->tcp().connect(lan->primary->address(), 7000, {});
+    ASSERT_TRUE(run_until(sim(), [&] {
+      return c->state() == tcp::TcpState::kEstablished;
+    }));
+    EXPECT_TRUE(seen.insert(c->id()).second) << "duplicate id " << c->id();
+    c->close();
+    ASSERT_TRUE(run_until(sim(), [&] { return server.live_sessions() == 0; }));
+    c.reset();
+    sim().run_for(milliseconds(1));
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+}  // namespace
+}  // namespace tfo::apps
