@@ -146,6 +146,51 @@ def _check_storm(storm):
             f"storm.alloc.ratio {alloc['ratio']} below the 5x gate")
 
 
+def _check_shard(shard):
+    _expect(isinstance(shard, dict), "'shard' is not an object")
+    for key in ("gro", "points"):
+        _expect(key in shard, f"shard missing '{key}'")
+    gro = shard["gro"]
+    _expect(isinstance(gro, dict), "shard.gro is not an object")
+    for key in ("mss", "base_segments_per_s", "gro_segments_per_s", "speedup",
+                "frames_batched", "gro_coalesced"):
+        _expect(key in gro, f"shard.gro missing '{key}'")
+        _expect(isinstance(gro[key], (int, float)) and gro[key] >= 0,
+                f"shard.gro.{key} is not a non-negative number")
+    sanitized = gro.get("sanitized", False)
+    _expect(isinstance(sanitized, bool), "shard.gro.sanitized is not a bool")
+    # Wall-clock gates are native-build only: a sanitizer build records its
+    # numbers but is exempt from the speedup floor (the bench binary makes
+    # the same call; see bench_shard.cpp).
+    if not sanitized:
+        _expect(gro["speedup"] >= 1.3,
+                f"shard.gro.speedup {gro['speedup']} below the 1.3x gate")
+    _expect(gro["gro_coalesced"] > 0, "shard.gro.gro_coalesced is zero")
+    points = shard["points"]
+    _expect(isinstance(points, list) and points,
+            "shard.points must be a non-empty list")
+    prev_lanes = 0
+    p99 = None
+    for i, p in enumerate(points):
+        _expect(isinstance(p, dict), f"shard.points[{i}] is not an object")
+        for key in ("lanes", "segments_per_s", "takeover_p99_ns", "wall_s"):
+            _expect(key in p, f"shard.points[{i}] missing '{key}'")
+            _expect(isinstance(p[key], (int, float)) and p[key] >= 0,
+                    f"shard.points[{i}].{key} is not a non-negative number")
+        _expect(p["lanes"] > prev_lanes,
+                f"shard.points[{i}].lanes not strictly increasing")
+        prev_lanes = p["lanes"]
+        _expect(p["segments_per_s"] > 0,
+                f"shard.points[{i}].segments_per_s is zero")
+        _expect(p["takeover_p99_ns"] > 0,
+                f"shard.points[{i}].takeover_p99_ns is zero")
+        if p99 is None:
+            p99 = p["takeover_p99_ns"]
+        _expect(p["takeover_p99_ns"] == p99,
+                f"shard.points[{i}].takeover_p99_ns differs across lane "
+                f"counts — the lane merge leaked into simulated time")
+
+
 def check_document(doc):
     """Raises SchemaError when `doc` violates the bench artifact schema."""
     _expect(isinstance(doc, dict), "top level is not an object")
@@ -173,6 +218,8 @@ def check_document(doc):
         _check_profiles(doc["profiles"])
     if "storm" in doc:
         _check_storm(doc["storm"])
+    if "shard" in doc:
+        _check_shard(doc["shard"])
 
 
 def check_file(path):
@@ -236,6 +283,19 @@ def self_test():
             "alloc": {"cycles": 200000, "legacy_allocs": 400000,
                       "wheel_allocs": 0, "ratio": 400000.0},
         },
+        "shard": {
+            "gro": {"mss": 1460, "base_segments_per_s": 100000.0,
+                    "gro_segments_per_s": 180000.0, "speedup": 1.8,
+                    "frames_batched": 50000, "gro_coalesced": 30000},
+            "points": [
+                {"lanes": 1, "segments_per_s": 180000.0,
+                 "takeover_p99_ns": 2.1e8, "wall_s": 1.5},
+                {"lanes": 2, "segments_per_s": 175000.0,
+                 "takeover_p99_ns": 2.1e8, "wall_s": 1.6},
+                {"lanes": 4, "segments_per_s": 170000.0,
+                 "takeover_p99_ns": 2.1e8, "wall_s": 1.7},
+            ],
+        },
     }
     check_document(good)
 
@@ -271,6 +331,22 @@ def self_test():
         ("storm alloc missing ratio", lambda d: d["storm"]["alloc"].pop("ratio")),
         ("storm ratio below gate", lambda d: d["storm"]["alloc"].update(
             ratio=2.0)),
+        ("shard missing gro", lambda d: d["shard"].pop("gro")),
+        ("shard speedup below gate", lambda d: d["shard"]["gro"].update(
+            speedup=1.1)),
+        ("shard non-bool sanitized waiver", lambda d: d["shard"]["gro"].update(
+            speedup=1.1, sanitized="yes")),
+        ("shard never coalesced", lambda d: d["shard"]["gro"].update(
+            gro_coalesced=0)),
+        ("shard empty points", lambda d: d["shard"].update(points=[])),
+        ("shard point missing wall_s", lambda d: d["shard"]["points"][0].pop(
+            "wall_s")),
+        ("shard lanes not increasing", lambda d: d["shard"]["points"][2].update(
+            lanes=2)),
+        ("shard zero throughput", lambda d: d["shard"]["points"][1].update(
+            segments_per_s=0)),
+        ("shard p99 drifts across lanes", lambda d: d["shard"]["points"][2].update(
+            takeover_p99_ns=9.9e8)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)

@@ -13,6 +13,7 @@ HostParams host_params(const char* name, const char* addr, const LanParams& p,
   hp.arp = p.arp;
   hp.tcp = p.tcp;
   hp.seed = seed;
+  hp.lanes = p.lanes;
   return hp;
 }
 
@@ -24,7 +25,7 @@ void warm_pair(Host& a, Host& b) {
 }  // namespace
 
 std::unique_ptr<Lan> make_lan(LanParams params) {
-  auto lan = std::make_unique<Lan>();
+  auto lan = std::make_unique<Lan>(params.scheduler);
   lan->wire = std::make_unique<net::SharedMedium>(lan->sim, params.medium);
   lan->client = std::make_unique<Host>(
       lan->sim, host_params("client", Lan::kClientAddr, params, params.seed + 1),
@@ -62,6 +63,7 @@ std::unique_ptr<Wan> make_wan(WanParams params) {
   lp.nic = params.nic;
   lp.arp = params.arp;
   lp.tcp = params.tcp;
+  lp.lanes = params.lanes;
 
   wan->primary = std::make_unique<Host>(
       wan->sim, host_params("primary", Wan::kPrimaryAddr, lp, params.seed + 2),

@@ -29,9 +29,16 @@ struct LanParams {
   std::uint64_t seed = 11;
   /// Pre-populate every ARP cache (the paper warmed caches before timing).
   bool warm_arp = true;
+  /// Lane configuration applied to every host (see HostParams::lanes).
+  sim::LaneConfig lanes;
+  /// Event-queue implementation for the topology's shared Simulator.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kTimingWheel;
 };
 
 struct Lan {
+  explicit Lan(sim::SchedulerKind scheduler = sim::SchedulerKind::kTimingWheel)
+      : sim(scheduler) {}
+
   sim::Simulator sim;
   std::unique_ptr<net::SharedMedium> wire;
   std::unique_ptr<Host> client;
@@ -58,6 +65,8 @@ struct WanParams {
   ip::ArpParams router_arp;
   std::uint64_t seed = 12;
   bool warm_arp = true;
+  /// Lane configuration applied to every host (see HostParams::lanes).
+  sim::LaneConfig lanes;
 };
 
 struct Wan {

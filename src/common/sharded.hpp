@@ -1,0 +1,107 @@
+// RSS-style sharding wrapper over FlatMap.
+//
+// The lane data path splits per-connection tables into N independent
+// shards selected by the connection hash — the same steering the NIC's
+// lane partition uses — so each lane's demux work touches only its own
+// shard. The wrapper preserves the FlatMap calling conventions the demux
+// paths use (find_value, try_emplace, erase) at one extra modulo per
+// probe, and keeps the single-shard case allocation-identical to a bare
+// FlatMap.
+//
+// Iteration (for_each) visits shards in index order; order therefore
+// *changes with the shard count*. Callers that need an iteration order
+// independent of sharding — anything whose side effects reach the wire —
+// must collect and sort by a stable key themselves, exactly as they
+// already must for FlatMap's hash-dependent slot order (see
+// TcpLayer::rekey_local_address). Like FlatMap, value pointers are
+// invalidated by any insert or erase.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/flat_map.hpp"
+
+namespace tfo {
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class ShardedMap {
+ public:
+  using Shard = FlatMap<K, V, Hash, Eq>;
+
+  explicit ShardedMap(unsigned shards = 1)
+      : shards_(shards == 0 ? 1 : shards) {}
+
+  /// Re-shards the (empty) table; the shard count is fixed once entries
+  /// exist — a live resharding would silently rehome keys.
+  void set_shard_count(unsigned n) {
+    TFO_ASSERT(size() == 0, "cannot re-shard a non-empty ShardedMap");
+    shards_.clear();
+    shards_.resize(n == 0 ? 1 : n);
+  }
+
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Which shard owns `key` (the lane steering decision).
+  unsigned shard_of(const K& key) const {
+    return static_cast<unsigned>(hash_(key) % shards_.size());
+  }
+
+  Shard& shard(unsigned i) { return shards_[i]; }
+  const Shard& shard(unsigned i) const { return shards_[i]; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.size();
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  void reserve(std::size_t n) {
+    for (Shard& s : shards_) s.reserve(n / shards_.size() + 1);
+  }
+
+  bool contains(const K& key) const {
+    return shards_[shard_of(key)].contains(key);
+  }
+
+  V* find_value(const K& key) { return shards_[shard_of(key)].find_value(key); }
+  const V* find_value(const K& key) const {
+    return shards_[shard_of(key)].find_value(key);
+  }
+
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    return shards_[shard_of(key)].try_emplace(key, std::forward<Args>(args)...);
+  }
+
+  void insert_or_assign(const K& key, V value) {
+    shards_[shard_of(key)].insert_or_assign(key, std::move(value));
+  }
+
+  bool erase(const K& key) { return shards_[shard_of(key)].erase(key); }
+
+  void clear() {
+    for (Shard& s : shards_) s.clear();
+  }
+
+  /// Visits shard 0's entries (slot order), then shard 1's, … — see the
+  /// header comment about order stability. fn must not insert or erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Shard& s : shards_) s.for_each(fn);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) s.for_each(fn);
+  }
+
+ private:
+  std::vector<Shard> shards_;
+  Hash hash_;
+};
+
+}  // namespace tfo

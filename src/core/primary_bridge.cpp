@@ -1,5 +1,7 @@
 #include "core/primary_bridge.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace tfo::core {
@@ -12,6 +14,10 @@ using tcp::TcpSegment;
 PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
     : host_(host), cfg_(std::move(cfg)), sweep_timer_(host.simulator()) {
   tombstone_ttl_ = 4 * host_.tcp().params().msl;
+  // Mirror the TCP layer's lane layout so a lane's segments touch only
+  // their own bridge shard.
+  const unsigned lanes = host_.tcp().params().lanes;
+  conns_.set_shard_count(lanes == 0 ? 1 : lanes);
   auto& reg = host_.obs().registry;
   ctr_merged_ = &reg.counter("bridge.merged_segments");
   ctr_stray_fin_acks_ = &reg.counter("bridge.stray_fin_acks");
@@ -170,16 +176,17 @@ void PrimaryBridge::emit(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
 }
 
 void PrimaryBridge::rekey_local(ip::Ipv4 from, ip::Ipv4 to) {
-  std::vector<std::unique_ptr<BridgeConn>> moved;
-  std::vector<ConnKey> old_keys;
+  // Collect-sort-then-move: shard/slot iteration order depends on the
+  // lane count, so the move order is pinned to the key's total order —
+  // identical for every sharding (cross-shard handoffs included).
+  std::vector<std::pair<ConnKey, std::unique_ptr<BridgeConn>>> moved;
   conns_.for_each([&](const ConnKey& key, std::unique_ptr<BridgeConn>& conn) {
-    if (key.local_ip == from) {
-      moved.push_back(std::move(conn));
-      old_keys.push_back(key);
-    }
+    if (key.local_ip == from) moved.emplace_back(key, std::move(conn));
   });
-  for (const ConnKey& key : old_keys) conns_.erase(key);
-  for (auto& conn : moved) {
+  std::sort(moved.begin(), moved.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, conn] : moved) conns_.erase(key);
+  for (auto& [old_key, conn] : moved) {
     conn->rebind_local(to);
     const ConnKey key = conn->key();
     conns_.insert_or_assign(key, std::move(conn));
@@ -335,9 +342,17 @@ void PrimaryBridge::on_secondary_failed() {
   host_.obs().timeline.record(host_.simulator().now(),
                               obs::EventKind::kSecondaryFailed, {},
                               "conns=" + std::to_string(conns_.size()));
-  conns_.for_each([](const ConnKey&, std::unique_ptr<BridgeConn>& conn) {
-    conn->on_secondary_failed();
+  // Sort by key: the solo-mode flush emits segments, and the emission
+  // order must not depend on how the table is sharded across lanes.
+  std::vector<BridgeConn*> flushing;
+  conns_.for_each([&](const ConnKey&, std::unique_ptr<BridgeConn>& conn) {
+    flushing.push_back(conn.get());
   });
+  std::sort(flushing.begin(), flushing.end(),
+            [](const BridgeConn* a, const BridgeConn* b) {
+              return a->key() < b->key();
+            });
+  for (BridgeConn* conn : flushing) conn->on_secondary_failed();
 }
 
 }  // namespace tfo::core

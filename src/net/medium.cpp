@@ -32,17 +32,31 @@ SharedMedium::SharedMedium(sim::Simulator& sim, SharedMediumParams params)
       impairment_(fold_legacy_loss(params.impairment, params.loss_probability,
                                    params.loss_seed)) {}
 
-void SharedMedium::attach(Nic* nic) { nics_.push_back(nic); }
+void SharedMedium::attach(Nic* nic) {
+  if (!attached_.insert(nic).second) return;  // already attached
+  nics_.push_back(nic);
+}
 
 void SharedMedium::detach(Nic* nic) {
-  nics_.erase(std::remove(nics_.begin(), nics_.end(), nic), nics_.end());
+  if (attached_.erase(nic) == 0) return;
+  // Null the slot in place — a delivery pass may be mid-iteration over
+  // nics_, and the erase is batched: one compaction sweep per simulation
+  // instant, no matter how many NICs a failover storm detaches.
+  *std::find(nics_.begin(), nics_.end(), nic) = nullptr;
   // A full-duplex port's busy state dies with its NIC: a later attach that
   // reuses the allocation must not inherit another port's schedule.
   tx_busy_until_.erase(nic);
+  if (!sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    sim_.schedule_after(0, [this] {
+      sweep_scheduled_ = false;
+      nics_.erase(std::remove(nics_.begin(), nics_.end(), nullptr), nics_.end());
+    });
+  }
 }
 
 bool SharedMedium::is_attached(const Nic* nic) const {
-  return std::find(nics_.begin(), nics_.end(), nic) != nics_.end();
+  return attached_.contains(nic);
 }
 
 SimDuration SharedMedium::wire_time(const EthernetFrame& f) const {
@@ -77,18 +91,22 @@ void SharedMedium::transmit(Nic* sender, EthernetFrame frame) {
 }
 
 void SharedMedium::deliver(Nic* sender, const EthernetFrame& frame) {
-  // Snapshot: a receive handler may attach/detach NICs (e.g. failover).
-  // Membership is re-checked per delivery below — an earlier receiver in
-  // this very pass may have detached (and destroyed) a later one.
-  const std::vector<Nic*> snapshot = nics_;
+  // Iterate the live roster by index — no per-frame snapshot copy. A
+  // receive handler may attach/detach NICs (e.g. failover) mid-pass:
+  // detach nulls the slot in place (checked fresh each step, so an
+  // earlier receiver detaching — and destroying — a later one is safe),
+  // and attaches land beyond `limit`, invisible to this pass like they
+  // were to the old snapshot.
+  const std::size_t limit = nics_.size();
   // The sender may itself have detached — or been destroyed by a host
   // kill — while the frame was in flight; it is only safe to dereference
   // while still attached. (The raw pointer is still used for the
   // self-delivery comparison, which never dereferences.)
   Nic* live_sender = is_attached(sender) ? sender : nullptr;
-  for (Nic* nic : snapshot) {
+  for (std::size_t i = 0; i < limit; ++i) {
+    Nic* nic = nics_[i];
     if (nic == sender) continue;
-    if (!is_attached(nic)) {
+    if (nic == nullptr || !attached_.contains(nic)) {
       ++drops_detached_;
       continue;
     }

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -100,7 +101,14 @@ class SharedMedium : public Medium {
 
   sim::Simulator& sim_;
   SharedMediumParams params_;
+  /// Attachment roster. Detach nulls the slot in place instead of erasing
+  /// (a delivery pass may be iterating); one deferred compaction sweep per
+  /// simulation instant erases the nulls. Membership checks go through
+  /// `attached_` — O(1), where the old per-delivery vector scan was O(n)
+  /// per frame and dominated 100k-host media.
   std::vector<Nic*> nics_;
+  std::unordered_set<const Nic*> attached_;
+  bool sweep_scheduled_ = false;
   SimTime busy_until_ = 0;  // half-duplex: the single wire
   std::unordered_map<Nic*, SimTime> tx_busy_until_;  // full-duplex: per port
   LossFn loss_fn_;

@@ -1,5 +1,7 @@
 #include "net/nic.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace tfo::net {
@@ -39,7 +41,31 @@ void Nic::send(EthernetFrame frame) {
   tx_bytes_ += frame.payload.size();
   TFO_LOG(kTrace, "nic") << name_ << " tx " << frame.payload.size() << "B -> "
                          << frame.dst.str();
+  if (params_.tx_batch_max > 1) {
+    // Tx burst ring: stage the frame and flush the whole burst to the
+    // medium at the end of the current event (one medium transaction per
+    // burst, frames still enter the wire in send order).
+    tx_ring_.push_back(std::move(frame));
+    if (tx_ring_.size() >= params_.tx_batch_max) {
+      flush_tx();
+    } else if (!tx_flush_scheduled_) {
+      tx_flush_scheduled_ = true;
+      sim_.schedule_after(0, [this] { flush_tx(); });
+    }
+    return;
+  }
   medium_->transmit(this, std::move(frame));
+}
+
+void Nic::flush_tx() {
+  tx_flush_scheduled_ = false;
+  if (tx_ring_.empty()) return;
+  std::vector<EthernetFrame> burst;
+  burst.swap(tx_ring_);
+  if (!enabled_ || medium_ == nullptr) return;  // crashed mid-burst: drop
+  ++batch_stats_.tx_batches;
+  batch_stats_.tx_frames_batched += burst.size();
+  for (EthernetFrame& f : burst) medium_->transmit(this, std::move(f));
 }
 
 void Nic::deliver(const EthernetFrame& frame) {
@@ -50,6 +76,10 @@ void Nic::deliver(const EthernetFrame& frame) {
   rx_bytes_ += frame.payload.size();
   for (auto& obs : observers_) obs(frame, to_us);
   if (!rx_) return;
+  if (params_.rx_batch_max > 1) {
+    enqueue_rx(frame, to_us);
+    return;
+  }
   // Charge the host's protocol-processing latency, then hand up the stack.
   SimDuration delay = params_.rx_processing;
   if (params_.rx_jitter > 0) {
@@ -64,6 +94,91 @@ void Nic::deliver(const EthernetFrame& frame) {
   sim_.schedule_at(target, [this, frame, to_us] {
     if (enabled_ && rx_) rx_(frame, to_us);
   });
+}
+
+void Nic::enqueue_rx(const EthernetFrame& frame, bool to_us) {
+  RxFrame rx;
+  rx.frame = frame;
+  rx.to_us = to_us;
+  rx.seq = rx_ring_.size();
+  rx_ring_.push_back(std::move(rx));
+  if (rx_ring_.size() == 1) {
+    // First frame of the batch arms the flush and pays the processing
+    // charge; followers within the window ride for free (the batching
+    // win). The monotonic floor keeps batch N+1 behind batch N.
+    rx_flush_floor_ = sim_.now() + static_cast<SimTime>(params_.rx_processing);
+    SimTime target =
+        rx_flush_floor_ + static_cast<SimTime>(params_.rx_batch_window);
+    if (target < rx_floor_) target = rx_floor_;
+    rx_flush_event_ = sim_.schedule_at(target, [this] { flush_rx(); });
+    rx_floor_ = target;
+  } else if (rx_ring_.size() >= params_.rx_batch_max) {
+    // Full ring flushes as soon as the processing charge allows instead
+    // of waiting out the rest of the window.
+    SimTime target = std::max(sim_.now(), rx_flush_floor_);
+    sim_.cancel(rx_flush_event_);
+    rx_flush_event_ = sim_.schedule_at(target, [this] { flush_rx(); });
+    rx_floor_ = std::max(rx_floor_, target);
+  }
+}
+
+void Nic::flush_rx() {
+  rx_flush_event_ = sim::kNoEvent;
+  if (rx_ring_.empty()) return;
+  std::vector<RxFrame> batch;
+  batch.swap(rx_ring_);
+  if (!enabled_ || !rx_) return;
+  ++batch_stats_.rx_batches;
+  batch_stats_.frames_batched += batch.size();
+
+  // RSS partition: shard the batch by flow hash across the lanes, GRO
+  // each lane independently (speculatively, on worker threads when the
+  // lane set runs parallel), then merge lane outputs back into global
+  // arrival order by seq. The merge key makes delivery order — and thus
+  // every downstream effect — independent of the lane count.
+  const unsigned lane_count = lanes_ != nullptr ? lanes_->lanes() : 1;
+  std::vector<std::vector<RxFrame>> lane_in(lane_count);
+  for (RxFrame& f : batch) {
+    const unsigned lane =
+        lane_count > 1 ? lanes_->lane_for(rss_hash(f.frame)) : 0;
+    lane_in[lane].push_back(std::move(f));
+  }
+  std::vector<std::vector<RxFrame>> lane_out(lane_count);
+  std::vector<GroStats> lane_stats(lane_count);
+  for (unsigned lane = 0; lane < lane_count; ++lane) {
+    if (lane_in[lane].empty()) continue;
+    if (lanes_ != nullptr) {
+      lanes_->submit(lane, [this, in = &lane_in[lane], out = &lane_out[lane],
+                            st = &lane_stats[lane]]() -> sim::LaneSet::Commit {
+        gro_coalesce(params_.gro, std::move(*in), *out, *st);
+        return {};  // results land in lane-private slots; nothing to publish
+      });
+    } else {
+      gro_coalesce(params_.gro, std::move(lane_in[lane]), lane_out[lane],
+                   lane_stats[lane]);
+    }
+  }
+  if (lanes_ != nullptr) lanes_->run_round();
+
+  std::vector<RxFrame> merged;
+  std::size_t total = 0;
+  for (const auto& lo : lane_out) total += lo.size();
+  merged.reserve(total);
+  for (auto& lo : lane_out) {
+    for (RxFrame& f : lo) merged.push_back(std::move(f));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RxFrame& a, const RxFrame& b) { return a.seq < b.seq; });
+  for (const GroStats& st : lane_stats) {
+    gro_stats_.frames_in += st.frames_in;
+    gro_stats_.frames_out += st.frames_out;
+    gro_stats_.coalesced += st.coalesced;
+    gro_stats_.bad_checksum += st.bad_checksum;
+  }
+  for (RxFrame& f : merged) {
+    if (!enabled_ || !rx_) break;  // a handler may crash this host mid-batch
+    rx_(f.frame, f.to_us);
+  }
 }
 
 }  // namespace tfo::net

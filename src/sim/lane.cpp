@@ -1,0 +1,117 @@
+#include "sim/lane.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace tfo::sim {
+
+LaneConfig lane_config_from_env(LaneConfig base) {
+  const char* env = std::getenv("TFO_LANES");
+  if (env == nullptr || *env == '\0') return base;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || n < 1 || n > 64) return base;
+  LaneConfig cfg;
+  cfg.lanes = static_cast<unsigned>(n);
+  cfg.parallel = n >= 2;
+  return cfg;
+}
+
+LaneSet::LaneSet(LaneConfig cfg) : cfg_(cfg) {
+  if (cfg_.lanes == 0) cfg_.lanes = 1;
+  if (cfg_.lanes == 1) cfg_.parallel = false;  // nothing to parallelize
+}
+
+LaneSet::~LaneSet() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void LaneSet::submit(unsigned lane, Work work) {
+  TFO_ASSERT(lane < cfg_.lanes, "lane index out of range");
+  auto task = std::make_unique<Task>();
+  task->lane = lane;
+  task->work = std::move(work);
+  round_.push_back(std::move(task));
+}
+
+void LaneSet::start_workers() {
+  lane_queues_.resize(cfg_.lanes);
+  workers_.reserve(cfg_.lanes);
+  for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+void LaneSet::worker_loop(unsigned lane) {
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !lane_queues_[lane].empty(); });
+      if (lane_queues_[lane].empty()) return;  // stop_ && drained
+      task = lane_queues_[lane].front();
+      lane_queues_[lane].pop_front();
+    }
+    task->commit = task->work();
+    {
+      // The store must happen under the mutex the merger's predicate runs
+      // under, or a notify landing between its predicate check and its
+      // sleep would be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      task->done.store(true, std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void LaneSet::run_round() {
+  if (round_.empty()) return;
+  ++stats_.rounds;
+  stats_.tasks += round_.size();
+
+  if (!cfg_.parallel) {
+    // Serial reference execution: same two-phase shape as the parallel
+    // path (all work, then all commits in submission order) so the only
+    // difference between modes is *where* work runs, never *when* its
+    // effects land.
+    for (auto& task : round_) task->commit = task->work();
+  } else {
+    ++stats_.parallel_rounds;
+    if (workers_.empty()) start_workers();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& task : round_) lane_queues_[task->lane].push_back(task.get());
+    }
+    work_cv_.notify_all();
+    // Deterministic merge: wait for and commit each task in submission
+    // order. A task still in flight when the merger reaches it is a
+    // merge stall — the lanes finished out of order.
+    for (auto& task : round_) {
+      if (!task->done.load(std::memory_order_acquire)) {
+        ++stats_.merge_stalls;
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+          return task->done.load(std::memory_order_acquire);
+        });
+      }
+    }
+  }
+
+  // Commits mutate shared state; they run here, on the simulation thread,
+  // in submission order — identical for every lane count and mode.
+  for (auto& task : round_) {
+    if (task->commit) task->commit();
+  }
+  round_.clear();
+}
+
+}  // namespace tfo::sim

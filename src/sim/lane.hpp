@@ -1,0 +1,113 @@
+// Lane scheduler: sharded speculative execution with a deterministic merge.
+//
+// The simulation's hot paths (NIC rx batches, GRO coalescing) shard work
+// RSS-style by connection hash across N *lanes*. Lane work runs
+// speculatively — possibly on worker threads — against lane-private state
+// only, and produces a *commit* closure. Commits are applied on the
+// simulation thread in global submission order, so every side effect on
+// shared state (connection tables, counters, frame delivery) happens in
+// exactly the same order regardless of lane count or whether worker
+// threads are enabled. That is the merge-order invariant `determinism_test`
+// pins down: results are bit-identical for lanes ∈ {1, 2, 4} × {serial,
+// parallel} × SchedulerKind.
+//
+// Formally the merge key is (virtual time, lane id, per-lane seq). Rounds
+// only ever run at a single virtual instant, and submission order encodes
+// (lane, seq) the same way for every lane count (callers submit lane 0's
+// batch first), so the comparator reduces to the global submission index —
+// which is what makes the order *independent* of how many lanes the work
+// happened to be sharded across.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tfo::sim {
+
+struct LaneConfig {
+  /// Number of shards the data path is split into (>= 1).
+  unsigned lanes = 1;
+  /// Run lane work on persistent worker threads. Off by default: serial
+  /// execution visits the same lanes in the same order and is the
+  /// reference behaviour the parallel mode must reproduce bit-for-bit.
+  bool parallel = false;
+};
+
+/// Applies the `TFO_LANES` environment override: "N" with N >= 2 enables N
+/// parallel lanes, "1" forces serial single-lane, unset/invalid keeps
+/// `base`.
+LaneConfig lane_config_from_env(LaneConfig base = {});
+
+class LaneSet {
+ public:
+  /// Applied on the simulation thread, in submission order.
+  using Commit = std::function<void()>;
+  /// Runs speculatively (worker thread in parallel mode); must touch only
+  /// lane-private state plus thread-safe globals, and returns the commit
+  /// that publishes its results.
+  using Work = std::function<Commit()>;
+
+  explicit LaneSet(LaneConfig cfg);
+  ~LaneSet();
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
+
+  unsigned lanes() const { return cfg_.lanes; }
+  bool parallel() const { return cfg_.parallel; }
+  const LaneConfig& config() const { return cfg_; }
+
+  /// RSS steering: which lane owns a flow with this hash.
+  unsigned lane_for(std::size_t hash) const {
+    return static_cast<unsigned>(hash % cfg_.lanes);
+  }
+
+  /// Stages one unit of work for `lane` in the current round.
+  void submit(unsigned lane, Work work);
+
+  /// Executes all staged work — on worker threads when parallel — then
+  /// applies every commit in submission order on the calling thread.
+  void run_round();
+
+  struct Stats {
+    std::uint64_t rounds = 0;          ///< run_round calls with work staged
+    std::uint64_t parallel_rounds = 0; ///< rounds executed on worker threads
+    std::uint64_t tasks = 0;           ///< units of lane work executed
+    /// Commits the merger had to wait for because an earlier-ordered
+    /// lane's work had not finished yet (parallel mode only): a direct
+    /// measure of merge-barrier skew between lanes.
+    std::uint64_t merge_stalls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Task {
+    unsigned lane = 0;
+    Work work;
+    Commit commit;
+    std::atomic<bool> done{false};
+  };
+
+  void start_workers();
+  void worker_loop(unsigned lane);
+
+  LaneConfig cfg_;
+  Stats stats_;
+  std::vector<std::unique_ptr<Task>> round_;  // submission order
+
+  // Parallel mode plumbing (threads start lazily on the first parallel
+  // round, so serial hosts never pay for a pool).
+  std::vector<std::thread> workers_;
+  std::vector<std::deque<Task*>> lane_queues_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tfo::sim

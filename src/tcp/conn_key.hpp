@@ -17,6 +17,9 @@ struct ConnKey {
   std::uint16_t remote_port = 0;
 
   friend bool operator==(const ConnKey&, const ConnKey&) = default;
+  /// Lexicographic field order: a stable, hash-independent total order for
+  /// sweeps that must visit connections identically for every lane count.
+  friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
 
   ConnKey reversed() const { return {remote_ip, remote_port, local_ip, local_port}; }
 

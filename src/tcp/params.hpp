@@ -64,6 +64,12 @@ struct TcpParams {
   /// Data retransmission limit before aborting the connection.
   int max_retries = 12;
 
+  /// Number of lanes the connection table is sharded across (RSS-style,
+  /// by ConnKeyHash). Set by the host from its lane configuration; 1 keeps
+  /// the single flat table. Purely an execution-layout knob: lookup
+  /// results and iteration *contents* are identical for every value.
+  unsigned lanes = 1;
+
   /// TCP keepalive: after `keepalive_idle` of silence on an established
   /// connection, send probes every `keepalive_interval`; abort after
   /// `keepalive_probes` unanswered probes. 0 idle disables (the default,

@@ -9,7 +9,11 @@ namespace tfo::tcp {
 
 TcpLayer::TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params,
                    std::uint64_t seed)
-    : sim_(sim), ip_(ip), params_(params), rng_(seed) {
+    : sim_(sim),
+      ip_(ip),
+      params_(params),
+      rng_(seed),
+      conns_(params.lanes == 0 ? 1 : params.lanes) {
   ip_.register_protocol(ip::Proto::kTcp,
                         [this](const ip::IpDatagram& d, const ip::RxMeta& m) {
                           on_datagram(d, m);
@@ -21,7 +25,7 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   if (!hub) {
     ctr_segments_sent_ = ctr_segments_received_ = ctr_segments_malformed_ = nullptr;
     ctr_rst_sent_ = ctr_conns_opened_ = ctr_conns_accepted_ = nullptr;
-    ctr_ooo_budget_drops_ = nullptr;
+    ctr_ooo_budget_drops_ = ctr_cross_handoffs_ = nullptr;
     gau_connections_ = gau_pinned_bytes_ = nullptr;
     return;
   }
@@ -33,6 +37,7 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   ctr_conns_opened_ = &reg.counter("tcp.connections_opened");
   ctr_conns_accepted_ = &reg.counter("tcp.connections_accepted");
   ctr_ooo_budget_drops_ = &reg.counter("tcp.ooo_dropped_budget");
+  ctr_cross_handoffs_ = &reg.counter("lane.cross_handoffs");
   gau_connections_ = &reg.gauge("tcp.connections");
   gau_pinned_bytes_ = &reg.gauge("tcp.conn_bytes_pinned");
   gau_pinned_bytes_->set(pinned_bytes_);
@@ -161,9 +166,16 @@ void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
   std::sort(moved.begin(), moved.end(),
             [](const auto& a, const auto& b) { return a->id() < b->id(); });
   for (auto& conn : moved) {
-    if (conns_.erase(conn->key())) --port_use_[conn->key().local_port];
+    const ConnKey old_key = conn->key();
+    if (conns_.erase(old_key)) --port_use_[old_key.local_port];
     conn->rebind_local_ip(to);
     const ConnKey new_key = conn->key();  // read before the move nulls conn
+    // Rekeying changes the 4-tuple hash, so a failed-over connection may
+    // migrate to a different lane's shard: a cross-lane handoff.
+    if (conns_.shard_of(new_key) != conns_.shard_of(old_key) &&
+        ctr_cross_handoffs_ != nullptr) {
+      ctr_cross_handoffs_->inc();
+    }
     insert_conn(new_key, std::move(conn));
   }
 }
@@ -177,7 +189,8 @@ void TcpLayer::connection_closed(const ConnKey& key) {
 }
 
 void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) {
-  auto parsed = TcpSegment::parse(dgram.payload, dgram.src, dgram.dst);
+  auto parsed = TcpSegment::parse(dgram.payload, dgram.src, dgram.dst,
+                                  /*verify_checksum=*/!meta.checksums_verified);
   if (!parsed) {
     TFO_LOG(kDebug, "tcp") << "segment dropped (bad checksum or malformed)";
     if (ctr_segments_malformed_) ctr_segments_malformed_->inc();

@@ -10,8 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/flat_map.hpp"
 #include "common/rng.hpp"
+#include "common/sharded.hpp"
 #include "ip/ip_layer.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
@@ -139,7 +139,10 @@ class TcpLayer {
   ip::IpLayer& ip_;
   TcpParams params_;
   Rng rng_;
-  FlatMap<ConnKey, std::shared_ptr<Connection>, ConnKeyHash> conns_;
+  /// The demux table, sharded by ConnKeyHash across params.lanes lanes so
+  /// a lane's segments only probe its own shard. Failover rekeys may move
+  /// a connection between shards (cross-lane handoff, lane.cross_handoffs).
+  ShardedMap<ConnKey, std::shared_ptr<Connection>, ConnKeyHash> conns_;
   /// Live connections per local port: O(1) collision checks in
   /// allocate_ephemeral_port (the old scan over conns_ made opening N
   /// connections O(N²) — fatal at storm scale).
@@ -164,6 +167,7 @@ class TcpLayer {
   obs::Counter* ctr_conns_opened_ = nullptr;
   obs::Counter* ctr_conns_accepted_ = nullptr;
   obs::Counter* ctr_ooo_budget_drops_ = nullptr;
+  obs::Counter* ctr_cross_handoffs_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
   obs::Gauge* gau_pinned_bytes_ = nullptr;
 };

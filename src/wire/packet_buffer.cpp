@@ -1,39 +1,146 @@
 #include "wire/packet_buffer.hpp"
 
+#include <atomic>
 #include <ostream>
 
 namespace tfo::wire {
 
 namespace {
-BufferStats g_stats;
+
+/// The live counters: relaxed atomics, because parallel GRO lane workers
+/// allocate/copy buffers concurrently. Relaxed is enough — these are pure
+/// statistics with no ordering relationship to anything; the lane merge
+/// barrier (LaneSet::run_round) sequences them before any snapshot is
+/// taken on the simulation thread, so snapshots stay deterministic.
+struct AtomicBufferStats {
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> allocated_bytes{0};
+  std::atomic<std::uint64_t> deep_copies{0};
+  std::atomic<std::uint64_t> copied_bytes{0};
+  std::atomic<std::uint64_t> shares{0};
+};
+AtomicBufferStats g_stats;
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+  c.fetch_add(n, kRelaxed);
+}
+
+/// Thread-local recycling pool for MTU-class storage blocks. The data
+/// path churns one block per segment; recycling the backing vectors
+/// avoids a malloc/free pair and the zero-fill of ~2 KB per packet.
+/// Recycled blocks keep their stale bytes — every allocation site writes
+/// its full visible range (header prepends included), which the
+/// determinism suite would expose if violated. Per-thread on purpose:
+/// parallel GRO lane workers allocate without synchronization.
+///
+/// A second, smaller class recycles jumbo blocks (GRO-merged frames: up
+/// to 32 coalesced MSS payloads plus headers). Jumbo blocks keep their
+/// high-water size across reuse — a block is never shrunk on reuse nor
+/// regrown on recycle — so in steady state a merged-frame allocation
+/// costs no zero-fill at all; `vector::resize` only value-initializes
+/// when an allocation exceeds every size the block has served before.
+constexpr std::size_t kPoolBlockBytes = 2048;
+constexpr std::size_t kPoolMaxBlocks = 1024;
+constexpr std::size_t kJumboBlockBytes = 64 * 1024;
+constexpr std::size_t kJumboMaxBlocks = 32;
+
+// Trivially destructible on purpose: its storage stays readable while
+// other thread-locals (the pool itself) wind down, so a Storage dying
+// during thread exit can tell whether recycling is still safe.
+thread_local bool g_pool_alive = false;
+
+struct StoragePool {
+  std::vector<Bytes> blocks;
+  std::vector<Bytes> jumbo;
+  StoragePool() { g_pool_alive = true; }
+  ~StoragePool() { g_pool_alive = false; }
+};
+
+StoragePool& pool() {
+  thread_local StoragePool p;
+  return p;
+}
 
 std::shared_ptr<PacketBuffer::Storage> make_storage(std::size_t cap) {
+  bump(g_stats.allocations);
+  bump(g_stats.allocated_bytes, cap);
   auto s = std::make_shared<PacketBuffer::Storage>();
+  if (cap <= kPoolBlockBytes) {
+    StoragePool& p = pool();
+    if (!p.blocks.empty()) {
+      s->buf = std::move(p.blocks.back());
+      p.blocks.pop_back();
+      s->buf.resize(cap);  // shrink within the block: no fill, no realloc
+      return s;
+    }
+    s->buf.reserve(kPoolBlockBytes);  // fresh block, pool-class capacity
+  } else if (cap <= kJumboBlockBytes) {
+    StoragePool& p = pool();
+    if (!p.jumbo.empty()) {
+      s->buf = std::move(p.jumbo.back());
+      p.jumbo.pop_back();
+      // Grow only past the block's high-water mark; a smaller request
+      // keeps the larger size (the excess is just extra tailroom), so
+      // steady-state reuse never value-initializes a byte.
+      if (s->buf.size() < cap) s->buf.resize(cap);
+      return s;
+    }
+    s->buf.reserve(kJumboBlockBytes);  // fresh block, jumbo-class capacity
+  }
   s->buf.resize(cap);
-  ++g_stats.allocations;
-  g_stats.allocated_bytes += cap;
   return s;
 }
 }  // namespace
 
-const BufferStats& buffer_stats() { return g_stats; }
-void reset_buffer_stats() { g_stats = BufferStats{}; }
+PacketBuffer::Storage::~Storage() {
+  if (!g_pool_alive || buf.capacity() < kPoolBlockBytes) return;
+  StoragePool& p = pool();
+  if (buf.capacity() >= kJumboBlockBytes) {
+    // Recycled at current (high-water) size on purpose — see the pool
+    // comment above.
+    if (p.jumbo.size() < kJumboMaxBlocks) p.jumbo.push_back(std::move(buf));
+    return;
+  }
+  if (p.blocks.size() >= kPoolMaxBlocks) return;
+  buf.resize(kPoolBlockBytes);
+  p.blocks.push_back(std::move(buf));
+}
+
+BufferStats buffer_stats() {
+  BufferStats out;
+  out.allocations = g_stats.allocations.load(kRelaxed);
+  out.allocated_bytes = g_stats.allocated_bytes.load(kRelaxed);
+  out.deep_copies = g_stats.deep_copies.load(kRelaxed);
+  out.copied_bytes = g_stats.copied_bytes.load(kRelaxed);
+  out.shares = g_stats.shares.load(kRelaxed);
+  return out;
+}
+
+void reset_buffer_stats() {
+  g_stats.allocations.store(0, kRelaxed);
+  g_stats.allocated_bytes.store(0, kRelaxed);
+  g_stats.deep_copies.store(0, kRelaxed);
+  g_stats.copied_bytes.store(0, kRelaxed);
+  g_stats.shares.store(0, kRelaxed);
+}
 
 PacketBuffer::PacketBuffer(Bytes b) {
   len_ = b.size();
   head_ = 0;
   storage_ = std::make_shared<Storage>();
   storage_->buf = std::move(b);
-  ++g_stats.allocations;  // adopted, but a distinct storage block
-  g_stats.allocated_bytes += len_;
+  bump(g_stats.allocations);  // adopted, but a distinct storage block
+  bump(g_stats.allocated_bytes, len_);
 }
 
 PacketBuffer PacketBuffer::copy_of(BytesView src) {
   PacketBuffer b = alloc(src.size());
   if (!src.empty()) {
     std::memcpy(b.storage_->buf.data() + b.head_, src.data(), src.size());
-    ++g_stats.deep_copies;
-    g_stats.copied_bytes += src.size();
+    bump(g_stats.deep_copies);
+    bump(g_stats.copied_bytes, src.size());
   }
   return b;
 }
@@ -45,7 +152,7 @@ PacketBuffer PacketBuffer::alloc(std::size_t len, std::size_t headroom,
 
 PacketBuffer::PacketBuffer(const PacketBuffer& other)
     : storage_(other.storage_), head_(other.head_), len_(other.len_) {
-  if (storage_) ++g_stats.shares;
+  if (storage_) bump(g_stats.shares);
 }
 
 PacketBuffer& PacketBuffer::operator=(const PacketBuffer& other) {
@@ -53,7 +160,7 @@ PacketBuffer& PacketBuffer::operator=(const PacketBuffer& other) {
     storage_ = other.storage_;
     head_ = other.head_;
     len_ = other.len_;
-    if (storage_) ++g_stats.shares;
+    if (storage_) bump(g_stats.shares);
   }
   return *this;
 }
@@ -72,8 +179,8 @@ std::uint8_t* PacketBuffer::prepend(std::size_t n) {
                      new_head, n + len_);
   if (len_ != 0) {
     std::memcpy(grown.storage_->buf.data() + new_head + n, data(), len_);
-    ++g_stats.deep_copies;
-    g_stats.copied_bytes += len_;
+    bump(g_stats.deep_copies);
+    bump(g_stats.copied_bytes, len_);
   }
   *this = std::move(grown);
   return storage_->buf.data() + head_;
@@ -91,8 +198,8 @@ std::uint8_t* PacketBuffer::append(std::size_t n) {
                      len_ + n);
   if (len_ != 0) {
     std::memcpy(grown.storage_->buf.data() + head_, data(), len_);
-    ++g_stats.deep_copies;
-    g_stats.copied_bytes += len_;
+    bump(g_stats.deep_copies);
+    bump(g_stats.copied_bytes, len_);
   }
   std::memset(grown.storage_->buf.data() + head_ + len_, 0, n);
   *this = std::move(grown);
@@ -104,8 +211,8 @@ void PacketBuffer::unshare() {
   PacketBuffer fresh = alloc(len_);
   if (len_ != 0) {
     std::memcpy(fresh.storage_->buf.data() + fresh.head_, data(), len_);
-    ++g_stats.deep_copies;
-    g_stats.copied_bytes += len_;
+    bump(g_stats.deep_copies);
+    bump(g_stats.copied_bytes, len_);
   }
   *this = std::move(fresh);
 }

@@ -37,8 +37,10 @@
 namespace tfo::wire {
 
 /// Process-wide buffer accounting, mirrored into per-host obs snapshots as
-/// net.alloc.* / net.bytes_copied (see OBSERVABILITY.md). The simulation is
-/// single-threaded, so plain integers suffice.
+/// net.alloc.* / net.bytes_copied (see OBSERVABILITY.md). Returned as a
+/// plain snapshot; the counters themselves are relaxed atomics internally,
+/// because GRO lane workers allocate and copy buffers concurrently when
+/// the parallel lane pool is enabled (TFO_LANES).
 struct BufferStats {
   std::uint64_t allocations = 0;    ///< fresh storage blocks created
   std::uint64_t allocated_bytes = 0;///< capacity of those blocks
@@ -47,15 +49,17 @@ struct BufferStats {
   std::uint64_t shares = 0;         ///< zero-copy duplications (refcount bumps)
 };
 
-const BufferStats& buffer_stats();
+BufferStats buffer_stats();
 void reset_buffer_stats();
 
 class PacketBuffer {
  public:
   /// Reference-counted backing block. Public only so the allocation
-  /// helper in the .cpp can construct it; not part of the API.
+  /// helper in the .cpp can construct it; not part of the API. The
+  /// destructor recycles MTU-class blocks into a thread-local pool.
   struct Storage {
     Bytes buf;
+    ~Storage();
   };
 
   /// Headroom reserved in front of a payload allocation: enough for the

@@ -4,6 +4,7 @@
 // the property that makes every number in EXPERIMENTS.md regenerable.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "apps/trace.hpp"
@@ -58,6 +59,88 @@ TEST(Determinism, DifferentLossSeedsDiverge) {
   const std::string a = run_scenario(11, 0.05, 42);
   const std::string b = run_scenario(11, 0.05, 43);
   EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------- lane matrix
+//
+// The sharded data path must be an execution-layout choice, not a
+// behavioural one: for every lane count, serial or parallel, and both
+// scheduler kinds, the wire traces and observability snapshots are
+// bit-identical. Only the lane.* counters — execution-strategy telemetry
+// by contract (DESIGN.md §8) — are excluded from the comparison.
+
+/// Counters/gauges/histograms of a host, canonicalized, lane.* excluded.
+std::string canonical_metrics(const apps::Host& h) {
+  std::ostringstream os;
+  const obs::Snapshot snap = h.metrics_snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("lane.", 0) == 0) continue;
+    os << name << '=' << v << '\n';
+  }
+  for (const auto& [name, g] : snap.gauges)
+    os << name << '=' << g.value << '/' << g.max << '\n';
+  for (const auto& [name, hist] : snap.histograms)
+    os << name << '=' << hist.count << '/' << hist.sum << '/' << hist.min << '/'
+       << hist.max << '\n';
+  return os.str();
+}
+
+struct LaneRunResult {
+  std::string trace;    // every frame the client saw, canonical form
+  std::string metrics;  // client + secondary snapshots, lane.* filtered
+};
+
+/// Full failover scenario (transfer, mid-way crash, completion) on the
+/// batched+GRO data path with the given lane layout and scheduler.
+LaneRunResult run_lane_scenario(unsigned lanes, bool parallel,
+                                sim::SchedulerKind kind) {
+  apps::LanParams lp;
+  lp.seed = 11;
+  lp.tcp.max_rto = seconds(5);
+  lp.scheduler = kind;
+  lp.lanes = {.lanes = lanes, .parallel = parallel};
+  lp.nic.rx_batch_max = 8;
+  lp.nic.rx_batch_window = microseconds(150);
+  auto r = test::make_replicated_lan(lp);
+  apps::FrameTracer at_client(r->sim(), r->client().nic());
+  test::EchoDriver d(r->client(), r->primary().address(), kEchoPort, 24000, 4096);
+  EXPECT_TRUE(run_until(r->sim(), [&] { return d.received().size() > 8000; },
+                        seconds(300)));
+  r->group->crash_primary();
+  EXPECT_TRUE(run_until(r->sim(), [&] { return d.done(); }, seconds(600)));
+  EXPECT_TRUE(d.verify());
+  return {at_client.dump(),
+          canonical_metrics(r->client()) + canonical_metrics(r->secondary())};
+}
+
+TEST(Determinism, LaneMatrixProducesBitIdenticalResults) {
+  ::unsetenv("TFO_LANES");  // the matrix controls the layout explicitly
+  for (auto kind :
+       {sim::SchedulerKind::kTimingWheel, sim::SchedulerKind::kLegacyHeap}) {
+    const LaneRunResult baseline = run_lane_scenario(1, false, kind);
+    ASSERT_FALSE(baseline.trace.empty());
+    for (unsigned lanes : {2u, 4u}) {
+      const LaneRunResult got = run_lane_scenario(lanes, false, kind);
+      EXPECT_EQ(got.trace, baseline.trace) << "lanes=" << lanes;
+      EXPECT_EQ(got.metrics, baseline.metrics) << "lanes=" << lanes;
+    }
+    // The stretch cell: real worker threads, same bits.
+    const LaneRunResult threaded = run_lane_scenario(4, true, kind);
+    EXPECT_EQ(threaded.trace, baseline.trace) << "parallel lanes=4";
+    EXPECT_EQ(threaded.metrics, baseline.metrics) << "parallel lanes=4";
+  }
+}
+
+TEST(Determinism, SchedulerKindsAgreeOnTheBatchedPath) {
+  ::unsetenv("TFO_LANES");
+  // The wheel and the legacy heap drain in the same order, so the batched
+  // data path's wire trace is identical across kinds. (Snapshots are
+  // compared within kind only: sim.wheel.* telemetry legitimately differs.)
+  const LaneRunResult wheel =
+      run_lane_scenario(2, false, sim::SchedulerKind::kTimingWheel);
+  const LaneRunResult heap =
+      run_lane_scenario(2, false, sim::SchedulerKind::kLegacyHeap);
+  EXPECT_EQ(wheel.trace, heap.trace);
 }
 
 TEST(Determinism, SimulatorTimeIsIndependentOfWallClock) {

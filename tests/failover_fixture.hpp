@@ -70,6 +70,10 @@ class EchoDriver {
   EchoDriver(apps::Host& client_host, ip::Ipv4 server, std::uint16_t port,
              std::size_t total, std::size_t chunk = 1024)
       : total_(total), chunk_(chunk) {
+    // Sized upfront: vector growth re-copies megabytes mid-transfer and
+    // the noise lands inside benchmark timing windows.
+    expected_.reserve(total_);
+    received_.reserve(total_);
     conn_ = client_host.tcp().connect(server, port, {.nodelay = true});
     conn_->on_established = [this] { pump(); };
     conn_->on_readable = [this] {

@@ -1,0 +1,159 @@
+// LaneSet unit tests: the merge-order invariant (commits apply in global
+// submission order for every lane count, serial or parallel), TFO_LANES
+// environment parsing, and the round/task statistics.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/lane.hpp"
+
+namespace tfo::sim {
+namespace {
+
+/// Runs one round of `tasks` work units spread across `cfg.lanes`
+/// round-robin and returns the order in which their commits applied.
+std::vector<int> commit_order(LaneConfig cfg, int tasks) {
+  LaneSet set(cfg);
+  std::vector<int> order;
+  for (int i = 0; i < tasks; ++i) {
+    set.submit(i % set.lanes(), [i, &order] {
+      // Speculative phase: lane-private only. The commit publishes.
+      const int doubled = i * 2;
+      return [doubled, &order] { order.push_back(doubled / 2); };
+    });
+  }
+  set.run_round();
+  return order;
+}
+
+TEST(LaneSet, SerialCommitsApplyInSubmissionOrder) {
+  const std::vector<int> order = commit_order({.lanes = 1}, 16);
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(LaneSet, CommitOrderIsIndependentOfLaneCount) {
+  const std::vector<int> baseline = commit_order({.lanes = 1}, 64);
+  for (unsigned lanes : {2u, 3u, 4u, 8u}) {
+    EXPECT_EQ(commit_order({.lanes = lanes}, 64), baseline)
+        << "lane count " << lanes << " changed the commit order";
+  }
+}
+
+TEST(LaneSet, ParallelCommitOrderMatchesSerial) {
+  const std::vector<int> baseline = commit_order({.lanes = 1}, 64);
+  for (unsigned lanes : {2u, 4u}) {
+    EXPECT_EQ(commit_order({.lanes = lanes, .parallel = true}, 64), baseline)
+        << "parallel execution with " << lanes << " lanes diverged";
+  }
+}
+
+TEST(LaneSet, ParallelOrderIsStableAcrossManyRounds) {
+  // Repeated rounds on a live thread pool: worker scheduling jitter must
+  // never leak into commit order.
+  LaneConfig cfg{.lanes = 4, .parallel = true};
+  LaneSet set(cfg);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      set.submit(static_cast<unsigned>(i) % cfg.lanes,
+                 [i, &order] { return [i, &order] { order.push_back(i); }; });
+    }
+    set.run_round();
+    ASSERT_EQ(order.size(), 32u) << "round " << round;
+    for (int i = 0; i < 32; ++i) ASSERT_EQ(order[i], i) << "round " << round;
+  }
+  EXPECT_EQ(set.stats().rounds, 50u);
+  EXPECT_EQ(set.stats().parallel_rounds, 50u);
+  EXPECT_EQ(set.stats().tasks, 50u * 32u);
+}
+
+TEST(LaneSet, SingleLaneConfigForcesSerial) {
+  LaneSet set(LaneConfig{.lanes = 1, .parallel = true});
+  EXPECT_EQ(set.lanes(), 1u);
+  EXPECT_FALSE(set.parallel());
+}
+
+TEST(LaneSet, LaneForPartitionsTheHashSpace) {
+  LaneSet set(LaneConfig{.lanes = 4});
+  std::vector<int> hits(4, 0);
+  for (std::size_t h = 0; h < 1000; ++h) {
+    const unsigned lane = set.lane_for(h * 0x9E3779B97F4A7C15ull);
+    ASSERT_LT(lane, 4u);
+    ++hits[lane];
+  }
+  for (int lane = 0; lane < 4; ++lane) EXPECT_GT(hits[lane], 0) << lane;
+}
+
+TEST(LaneSet, EmptyRoundIsANoOp) {
+  LaneSet set(LaneConfig{.lanes = 2});
+  set.run_round();
+  EXPECT_EQ(set.stats().rounds, 0u);
+  EXPECT_EQ(set.stats().tasks, 0u);
+}
+
+TEST(LaneSet, WorkMayReturnNoCommit) {
+  LaneSet set(LaneConfig{.lanes = 2});
+  int ran = 0;
+  set.submit(0, [&ran] {
+    ++ran;
+    return LaneSet::Commit{};  // nothing to publish
+  });
+  set.submit(1, [&ran] {
+    ++ran;
+    return LaneSet::Commit{};
+  });
+  set.run_round();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(set.stats().tasks, 2u);
+}
+
+class LaneEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("TFO_LANES");
+    if (prev != nullptr) saved_ = prev;
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      ::unsetenv("TFO_LANES");
+    } else {
+      ::setenv("TFO_LANES", saved_.c_str(), 1);
+    }
+  }
+  std::string saved_;
+};
+
+TEST_F(LaneEnvTest, UnsetKeepsBase) {
+  ::unsetenv("TFO_LANES");
+  const LaneConfig cfg = lane_config_from_env({.lanes = 3, .parallel = false});
+  EXPECT_EQ(cfg.lanes, 3u);
+  EXPECT_FALSE(cfg.parallel);
+}
+
+TEST_F(LaneEnvTest, NumericValueEnablesParallelLanes) {
+  ::setenv("TFO_LANES", "4", 1);
+  const LaneConfig cfg = lane_config_from_env();
+  EXPECT_EQ(cfg.lanes, 4u);
+  EXPECT_TRUE(cfg.parallel);
+}
+
+TEST_F(LaneEnvTest, OneForcesSerial) {
+  ::setenv("TFO_LANES", "1", 1);
+  const LaneConfig cfg = lane_config_from_env({.lanes = 8, .parallel = true});
+  EXPECT_EQ(cfg.lanes, 1u);
+  EXPECT_FALSE(cfg.parallel);
+}
+
+TEST_F(LaneEnvTest, InvalidValueKeepsBase) {
+  for (const char* bad : {"", "zero", "-2", "0", "9999"}) {
+    ::setenv("TFO_LANES", bad, 1);
+    const LaneConfig cfg = lane_config_from_env({.lanes = 2});
+    EXPECT_EQ(cfg.lanes, 2u) << "TFO_LANES=" << bad;
+  }
+}
+
+}  // namespace
+}  // namespace tfo::sim

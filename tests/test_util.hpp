@@ -2,6 +2,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/time.hpp"
@@ -22,12 +23,37 @@ inline bool run_until(sim::Simulator& sim, const std::function<bool()>& pred,
 }
 
 /// Deterministic pseudo-random payload of length n (seeded by `seed`).
+/// Eight interleaved LCG lanes break the serial multiply-add dependency
+/// (bulk benches generate tens of MB through here); the output is
+/// byte-identical to the scalar recurrence x = x*1664525 + 1013904223.
 inline Bytes pattern_bytes(std::size_t n, std::uint32_t seed = 0) {
+  constexpr std::uint32_t kA = 1664525u, kC = 1013904223u;
+  // f^8 jump constants: f^k(x) = A_k*x + C_k with A_{i+1} = a*A_i,
+  // C_{i+1} = a*C_i + c.
+  constexpr auto jump = [] {
+    std::uint32_t a = 1, c = 0;
+    for (int i = 0; i < 8; ++i) {
+      a *= kA;
+      c = c * kA + kC;
+    }
+    return std::pair<std::uint32_t, std::uint32_t>{a, c};
+  }();
   Bytes b(n);
+  std::uint32_t lane[8];
   std::uint32_t x = seed * 2654435761u + 12345u;
-  for (std::size_t i = 0; i < n; ++i) {
-    x = x * 1664525u + 1013904223u;
-    b[i] = static_cast<std::uint8_t>(x >> 24);
+  for (auto& l : lane) {
+    x = x * kA + kC;
+    l = x;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int j = 0; j < 8; ++j) {
+      b[i + j] = static_cast<std::uint8_t>(lane[j] >> 24);
+      lane[j] = lane[j] * jump.first + jump.second;
+    }
+  }
+  for (int j = 0; i < n; ++i, ++j) {
+    b[i] = static_cast<std::uint8_t>(lane[j] >> 24);
   }
   return b;
 }
