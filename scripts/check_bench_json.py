@@ -191,6 +191,45 @@ def _check_shard(shard):
                 f"counts — the lane merge leaked into simulated time")
 
 
+def _check_churn(churn):
+    _expect(isinstance(churn, dict), "'churn' is not an object")
+    for key in ("requests_per_conn", "points"):
+        _expect(key in churn, f"churn missing '{key}'")
+    _expect(isinstance(churn["requests_per_conn"], int)
+            and churn["requests_per_conn"] >= 1,
+            "churn.requests_per_conn must be an int >= 1")
+    points = churn["points"]
+    _expect(isinstance(points, list) and points,
+            "churn.points must be a non-empty list")
+    prev_cps = 0
+    for i, p in enumerate(points):
+        _expect(isinstance(p, dict), f"churn.points[{i}] is not an object")
+        for key in ("offered_cps", "duration_s", "conns_started",
+                    "conns_established", "conns_completed", "conns_failed",
+                    "requests_sent", "responses_ok", "requests_per_s",
+                    "latency_p50_ns", "latency_p99_ns", "setup_p50_ns",
+                    "setup_p99_ns", "listen_overflows", "time_wait_recycled",
+                    "embryonic_reaped", "growth_bytes_per_conn"):
+            _expect(key in p, f"churn.points[{i}] missing '{key}'")
+            _expect(isinstance(p[key], (int, float)) and p[key] >= 0,
+                    f"churn.points[{i}].{key} is not a non-negative number")
+        _expect(p["offered_cps"] > prev_cps,
+                f"churn.points[{i}].offered_cps not strictly increasing")
+        prev_cps = p["offered_cps"]
+        _expect(p["latency_p99_ns"] >= p["latency_p50_ns"],
+                f"churn.points[{i}]: latency p99 below p50")
+        _expect(p["setup_p99_ns"] >= p["setup_p50_ns"],
+                f"churn.points[{i}]: setup p99 below p50")
+        _expect(p["conns_completed"] <= p["conns_started"],
+                f"churn.points[{i}]: more completions than starts")
+        _expect(p["responses_ok"] <= p["requests_sent"],
+                f"churn.points[{i}]: more responses than requests")
+        # Open-loop gate: an unhealthy run still reports the offered rate,
+        # so a collapse shows up as failures, not a smaller denominator.
+        _expect(p["conns_failed"] <= 0.05 * p["conns_started"],
+                f"churn.points[{i}]: more than 5% of connections failed")
+
+
 def check_document(doc):
     """Raises SchemaError when `doc` violates the bench artifact schema."""
     _expect(isinstance(doc, dict), "top level is not an object")
@@ -220,6 +259,8 @@ def check_document(doc):
         _check_storm(doc["storm"])
     if "shard" in doc:
         _check_shard(doc["shard"])
+    if "churn" in doc:
+        _check_churn(doc["churn"])
 
 
 def check_file(path):
@@ -296,6 +337,29 @@ def self_test():
                  "takeover_p99_ns": 2.1e8, "wall_s": 1.7},
             ],
         },
+        "churn": {
+            "requests_per_conn": 2,
+            "points": [
+                {"offered_cps": 2000.0, "duration_s": 3.0,
+                 "conns_started": 5974, "conns_established": 5974,
+                 "conns_completed": 5974, "conns_failed": 0,
+                 "requests_sent": 11948, "responses_ok": 11948,
+                 "requests_per_s": 3983.0,
+                 "latency_p50_ns": 2.0e4, "latency_p99_ns": 9.0e4,
+                 "setup_p50_ns": 4.0e4, "setup_p99_ns": 1.0e9,
+                 "listen_overflows": 0, "time_wait_recycled": 0,
+                 "embryonic_reaped": 0, "growth_bytes_per_conn": 362.0},
+                {"offered_cps": 10000.0, "duration_s": 3.0,
+                 "conns_started": 30077, "conns_established": 30077,
+                 "conns_completed": 30050, "conns_failed": 27,
+                 "requests_sent": 60154, "responses_ok": 60100,
+                 "requests_per_s": 20033.0,
+                 "latency_p50_ns": 2.0e4, "latency_p99_ns": 1.3e5,
+                 "setup_p50_ns": 4.0e4, "setup_p99_ns": 1.0e9,
+                 "listen_overflows": 9987, "time_wait_recycled": 13693,
+                 "embryonic_reaped": 0, "growth_bytes_per_conn": 346.0},
+            ],
+        },
     }
     check_document(good)
 
@@ -347,6 +411,26 @@ def self_test():
             segments_per_s=0)),
         ("shard p99 drifts across lanes", lambda d: d["shard"]["points"][2].update(
             takeover_p99_ns=9.9e8)),
+        ("churn missing points", lambda d: d["churn"].pop("points")),
+        ("churn empty points", lambda d: d["churn"].update(points=[])),
+        ("churn zero requests_per_conn", lambda d: d["churn"].update(
+            requests_per_conn=0)),
+        ("churn point missing overflows", lambda d: d["churn"]["points"][0].pop(
+            "listen_overflows")),
+        ("churn cps not increasing", lambda d: d["churn"]["points"][1].update(
+            offered_cps=2000.0)),
+        ("churn latency p99 below p50", lambda d: d["churn"]["points"][0].update(
+            latency_p99_ns=1.0e4)),
+        ("churn setup p99 below p50", lambda d: d["churn"]["points"][0].update(
+            setup_p99_ns=1.0e4)),
+        ("churn completions exceed starts", lambda d: d["churn"]["points"][0].update(
+            conns_completed=99999)),
+        ("churn responses exceed requests", lambda d: d["churn"]["points"][0].update(
+            responses_ok=99999)),
+        ("churn failure rate above 5%", lambda d: d["churn"]["points"][1].update(
+            conns_failed=5000)),
+        ("churn negative growth", lambda d: d["churn"]["points"][0].update(
+            growth_bytes_per_conn=-1)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)

@@ -1,5 +1,6 @@
 #include "apps/http.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
@@ -15,6 +16,26 @@ void HttpServer::add_document(const std::string& path, Bytes body,
   docs_[path] = {std::move(body), std::move(content_type)};
 }
 
+namespace {
+
+/// Case-insensitive search for a "Connection:" header token in the raw
+/// header block (requests are small; a linear scan is fine).
+bool connection_header_says(const std::string& request, const char* token) {
+  std::string lower;
+  lower.reserve(request.size());
+  for (char c : request) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  const auto h = lower.find("connection:");
+  if (h == std::string::npos) return false;
+  const auto eol = lower.find("\r\n", h);
+  const std::string value =
+      lower.substr(h + 11, (eol == std::string::npos ? lower.size() : eol) - h - 11);
+  return value.find(token) != std::string::npos;
+}
+
+}  // namespace
+
 void HttpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
   tcp::Connection* raw = conn.get();
   const std::uint64_t id = raw->id();
@@ -25,44 +46,61 @@ void HttpServer::on_accept(std::shared_ptr<tcp::Connection> conn) {
     Bytes data;
     raw->recv(data);
     it->second.buf += to_string(data);
-    // A complete HTTP/1.0 request ends with an empty line.
-    const auto end = it->second.buf.find("\r\n\r\n");
-    if (end == std::string::npos) return;
-    handle_request(raw, it->second.buf.substr(0, end));
+    // Serve every complete request buffered so far (keep-alive clients
+    // may pipeline several). A complete request ends with an empty line.
+    for (;;) {
+      it = sessions_.find(id);  // handle_request may have ended the session
+      if (it == sessions_.end()) return;
+      const auto end = it->second.buf.find("\r\n\r\n");
+      if (end == std::string::npos) return;
+      const std::string request = it->second.buf.substr(0, end);
+      it->second.buf.erase(0, end + 4);
+      if (!handle_request(raw, request)) return;
+    }
   };
   raw->on_peer_fin = [raw] { raw->close(); };
   raw->on_closed = [this, id](tcp::CloseReason) { sessions_.erase(id); };
   if (raw->rx_available() > 0) raw->on_readable();
 }
 
-void HttpServer::handle_request(tcp::Connection* conn, const std::string& request) {
+bool HttpServer::handle_request(tcp::Connection* conn, const std::string& request) {
   ++requests_;
   char method[8] = {0};
   char path[512] = {0};
-  std::sscanf(request.c_str(), "%7s %511s", method, path);
+  char version[16] = {0};
+  std::sscanf(request.c_str(), "%7s %511s %15s", method, path, version);
   const std::string m = method;
   const bool head = m == "HEAD";
+  // HTTP/1.1 defaults to keep-alive, HTTP/1.0 (and anything unversioned)
+  // to close; an explicit Connection header overrides either default.
+  const bool http11 = std::string(version) == "HTTP/1.1";
+  bool keep_alive = http11;
+  if (connection_header_says(request, "close")) keep_alive = false;
+  if (connection_header_says(request, "keep-alive")) keep_alive = true;
+  const char* proto = http11 ? "HTTP/1.1" : "HTTP/1.0";
 
   std::ostringstream head_out;
   Bytes body;
   auto it = docs_.find(path);
   if ((m != "GET" && !head)) {
-    head_out << "HTTP/1.0 501 Not Implemented\r\nContent-Length: 0\r\n\r\n";
+    head_out << proto << " 501 Not Implemented\r\nContent-Length: 0\r\n";
   } else if (it == docs_.end()) {
     ++not_found_;
     const std::string msg = "<html><body>404 not found</body></html>";
-    head_out << "HTTP/1.0 404 Not Found\r\nContent-Type: text/html\r\n"
-             << "Content-Length: " << msg.size() << "\r\n\r\n";
+    head_out << proto << " 404 Not Found\r\nContent-Type: text/html\r\n"
+             << "Content-Length: " << msg.size() << "\r\n";
     if (!head) body = to_bytes(msg);
   } else {
-    head_out << "HTTP/1.0 200 OK\r\nContent-Type: " << it->second.content_type
-             << "\r\nContent-Length: " << it->second.body.size() << "\r\n\r\n";
+    head_out << proto << " 200 OK\r\nContent-Type: " << it->second.content_type
+             << "\r\nContent-Length: " << it->second.body.size() << "\r\n";
     if (!head) body = it->second.body;
   }
+  head_out << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n\r\n";
   Bytes response = to_bytes(head_out.str());
   append(response, body);
   conn->send(std::move(response));
-  conn->close();  // HTTP/1.0: one response, then server closes
+  if (!keep_alive) conn->close();  // HTTP/1.0 semantics: response, then close
+  return keep_alive;
 }
 
 // ------------------------------------------------------------------ client

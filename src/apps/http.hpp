@@ -1,11 +1,15 @@
-// A compact HTTP/1.0 server and client — the paper's introduction
+// A compact HTTP/1.0/1.1 server and client — the paper's introduction
 // motivates exactly this deployment: "a replicated Web server that
 // accepts connection requests from unreplicated clients" (§1).
 //
-// Server: GET/HEAD over a static in-memory document tree, one request
-// per connection (HTTP/1.0 semantics, server closes after the response).
-// Responses are a pure function of the request, so replicas are
-// deterministic as the failover system requires.
+// Server: GET/HEAD over a static in-memory document tree. HTTP/1.0
+// requests get one response and the server closes (the original
+// semantics, preserved for the failover tests); HTTP/1.1 requests
+// default to keep-alive, serving any number of sequential requests per
+// connection until "Connection: close" — the short-exchange shape the
+// churn load generator (loadgen.hpp) drives. Responses are a pure
+// function of the request, so replicas are deterministic as the
+// failover system requires.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +45,9 @@ class HttpServer {
   };
 
   void on_accept(std::shared_ptr<tcp::Connection> conn);
-  void handle_request(tcp::Connection* conn, const std::string& request);
+  /// Serves one parsed request; returns false when the connection was
+  /// closed (HTTP/1.0 or "Connection: close") and the session is done.
+  bool handle_request(tcp::Connection* conn, const std::string& request);
 
   std::map<std::string, Document> docs_;
   // Keyed by Connection::id(), not the pointer: a recycled allocation

@@ -1,0 +1,228 @@
+#include "apps/loadgen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace tfo::apps {
+
+LoadGen::LoadGen(sim::Simulator& sim, std::vector<tcp::TcpLayer*> clients,
+                 LoadGenConfig cfg, obs::Hub* hub)
+    : sim_(sim), clients_(std::move(clients)), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.mix.empty()) cfg_.mix.push_back({"/", 1});
+  for (const auto& e : cfg_.mix) mix_total_weight_ += e.weight;
+  if (cfg_.requests_per_conn < 1) cfg_.requests_per_conn = 1;
+  // Reserve the sample store up front so memory-bounded churn benches
+  // measure the stack's growth, not the recorder's reallocation.
+  const double expected_conns =
+      static_cast<double>(cfg_.duration) / 1e9 * cfg_.conns_per_sec;
+  latencies_.reserve(static_cast<std::size_t>(
+      (expected_conns * 1.25 + 64) * cfg_.requests_per_conn));
+  setup_latencies_.reserve(
+      static_cast<std::size_t>(expected_conns * 1.25 + 64));
+  if (hub != nullptr) {
+    auto& reg = hub->registry;
+    ctr_started_ = &reg.counter("loadgen.conns_started");
+    ctr_established_ = &reg.counter("loadgen.conns_established");
+    ctr_completed_ = &reg.counter("loadgen.conns_completed");
+    ctr_failed_ = &reg.counter("loadgen.conns_failed");
+    ctr_connect_failures_ = &reg.counter("loadgen.connect_failures");
+    ctr_requests_sent_ = &reg.counter("loadgen.requests_sent");
+    ctr_responses_ok_ = &reg.counter("loadgen.responses_ok");
+    ctr_responses_bad_ = &reg.counter("loadgen.responses_bad");
+    hist_latency_ = &reg.histogram("loadgen.request_latency_ns");
+    hist_setup_ = &reg.histogram("loadgen.setup_latency_ns");
+  }
+}
+
+LoadGen::~LoadGen() {
+  // Connections may outlive the generator inside the TCP layer; their
+  // callbacks must not fire into freed memory.
+  for (auto& [id, c] : conns_) {
+    if (!c.conn) continue;
+    c.conn->on_established = nullptr;
+    c.conn->on_readable = nullptr;
+    c.conn->on_peer_fin = nullptr;
+    c.conn->on_closed = nullptr;
+  }
+}
+
+void LoadGen::start() {
+  arrivals_end_ = sim_.now() + static_cast<SimTime>(cfg_.duration);
+  arrivals_done_ = false;
+  // The first arrival fires immediately; every subsequent gap comes from
+  // the seeded schedule, never from connection completions (open loop).
+  sim_.schedule_after(0, [this] {
+    launch_conn();
+    schedule_next_arrival();
+  });
+}
+
+void LoadGen::schedule_next_arrival() {
+  if (cfg_.max_conns != 0 && started_ >= cfg_.max_conns) {
+    arrivals_done_ = true;
+    return;
+  }
+  const double mean_gap_ns = 1e9 / cfg_.conns_per_sec;
+  const double gap =
+      cfg_.exponential_arrivals ? rng_.exponential(mean_gap_ns) : mean_gap_ns;
+  const SimTime next =
+      sim_.now() + static_cast<SimTime>(std::max(1.0, gap));
+  if (next > arrivals_end_) {
+    arrivals_done_ = true;
+    return;
+  }
+  sim_.schedule_at(next, [this] {
+    launch_conn();
+    schedule_next_arrival();
+  });
+}
+
+const std::string& LoadGen::pick_path() {
+  std::uint32_t r = static_cast<std::uint32_t>(
+      rng_.uniform(0, mix_total_weight_ - 1));
+  for (const auto& e : cfg_.mix) {
+    if (r < e.weight) return e.path;
+    r -= e.weight;
+  }
+  return cfg_.mix.back().path;
+}
+
+void LoadGen::launch_conn() {
+  ++started_;
+  if (ctr_started_) ctr_started_->inc();
+  tcp::TcpLayer* layer = clients_[(started_ - 1) % clients_.size()];
+  auto conn = layer->connect(cfg_.server, cfg_.port, cfg_.socket);
+  if (!conn) {
+    // Local refusal: the client host's ephemeral-port space is exhausted.
+    ++failed_;
+    ++connect_failures_;
+    if (ctr_failed_) ctr_failed_->inc();
+    if (ctr_connect_failures_) ctr_connect_failures_->inc();
+    return;
+  }
+  const std::uint64_t id = conn->id();
+  Conn& c = conns_[id];
+  c.conn = std::move(conn);
+  c.remaining = cfg_.requests_per_conn;
+  c.launched_at = sim_.now();
+  c.conn->on_established = [this, id] {
+    ++established_;
+    if (ctr_established_) ctr_established_->inc();
+    auto it = conns_.find(id);
+    if (it != conns_.end()) {
+      const SimDuration setup =
+          static_cast<SimDuration>(sim_.now() - it->second.launched_at);
+      setup_latencies_.push_back(setup);
+      if (hist_setup_) hist_setup_->observe(static_cast<std::uint64_t>(setup));
+    }
+    send_request(id);
+  };
+  c.conn->on_readable = [this, id] { consume_responses(id); };
+  c.conn->on_peer_fin = [this, id] {
+    // Server closed (after the "Connection: close" response, or early
+    // under failure). Drain what arrived with the FIN, then close our
+    // side so the teardown completes.
+    consume_responses(id);
+    auto it2 = conns_.find(id);
+    if (it2 != conns_.end()) it2->second.conn->close();
+  };
+  c.conn->on_closed = [this, id](tcp::CloseReason reason) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    // Graceful close with every response consumed is success; anything
+    // else (RST, timeout, early FIN) failed the connection.
+    finish_conn(id, reason == tcp::CloseReason::kGraceful &&
+                        it->second.remaining == 0 && !it->second.inflight);
+  };
+}
+
+void LoadGen::send_request(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  c.thinking = false;
+  if (c.remaining <= 0 || c.inflight) return;
+  const bool last = c.remaining == 1;
+  const std::string request = "GET " + pick_path() +
+                              " HTTP/1.1\r\nHost: loadgen\r\nConnection: " +
+                              (last ? "close" : "keep-alive") + "\r\n\r\n";
+  c.inflight = true;
+  c.sent_at = sim_.now();
+  ++requests_sent_;
+  if (ctr_requests_sent_) ctr_requests_sent_->inc();
+  c.conn->send(to_bytes(request));
+}
+
+void LoadGen::consume_responses(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  Bytes data;
+  c.conn->recv(data);
+  c.rx += to_string(data);
+  // Parse complete responses (header block + Content-Length body).
+  while (c.inflight) {
+    const auto header_end = c.rx.find("\r\n\r\n");
+    if (header_end == std::string::npos) return;
+    std::size_t content_length = 0;
+    {
+      // Our HttpServer always emits Content-Length with this exact name.
+      const auto cl = c.rx.find("Content-Length:");
+      if (cl != std::string::npos && cl < header_end) {
+        content_length = static_cast<std::size_t>(
+            std::strtoull(c.rx.c_str() + cl + 15, nullptr, 10));
+      }
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    if (c.rx.size() < total) return;
+
+    int status = 0;
+    std::sscanf(c.rx.c_str(), "HTTP/1.%*d %d", &status);
+    c.rx.erase(0, total);
+    c.inflight = false;
+    --c.remaining;
+    const SimDuration lat = static_cast<SimDuration>(sim_.now() - c.sent_at);
+    latencies_.push_back(lat);
+    if (hist_latency_) hist_latency_->observe(static_cast<std::uint64_t>(lat));
+    if (status == 200) {
+      ++responses_ok_;
+      if (ctr_responses_ok_) ctr_responses_ok_->inc();
+    } else {
+      ++responses_bad_;
+      if (ctr_responses_bad_) ctr_responses_bad_->inc();
+    }
+    if (c.remaining > 0) {
+      if (cfg_.think_time > 0) {
+        c.thinking = true;
+        sim_.schedule_after(cfg_.think_time, [this, id] {
+          auto it2 = conns_.find(id);
+          if (it2 != conns_.end() && it2->second.thinking) send_request(id);
+        });
+      } else {
+        send_request(id);
+      }
+    }
+    // remaining == 0: the last request carried "Connection: close"; we
+    // wait for the server's FIN and count completion in on_closed.
+  }
+}
+
+void LoadGen::finish_conn(std::uint64_t id, bool ok) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (ok) {
+    ++completed_;
+    if (ctr_completed_) ctr_completed_->inc();
+  } else {
+    ++failed_;
+    if (ctr_failed_) ctr_failed_->inc();
+    TFO_LOG(kDebug, "loadgen") << "connection " << id << " failed with "
+                               << it->second.remaining << " request(s) left";
+  }
+  conns_.erase(it);
+}
+
+}  // namespace tfo::apps

@@ -1,0 +1,156 @@
+// Open-loop HTTP load generator (the shape of Apache TrafficServer's
+// jtest): connection arrivals come from a seeded schedule at a configured
+// connections/s rate, independent of how fast the server answers — so a
+// slow or failing-over server faces the same offered load as a healthy
+// one, and client-visible latency measures the server, not the generator.
+//
+// Each connection runs `requests_per_conn` sequential HTTP/1.1 keep-alive
+// requests drawn from a weighted path mix, with a fixed think time
+// between them; the last request carries "Connection: close". Per-request
+// client-visible latency (send of the first byte to receipt of the full
+// response) is recorded raw and into an obs histogram.
+//
+// The generator must outlive the simulation run (its connection callbacks
+// capture `this`); benches and tests keep it on the stack beside the
+// Simulator, destroyed first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_layer.hpp"
+
+namespace tfo::apps {
+
+struct LoadGenConfig {
+  ip::Ipv4 server;
+  std::uint16_t port = 80;
+
+  /// Offered connection-arrival rate. With exponential_arrivals the gaps
+  /// are Poisson with this mean rate; otherwise they are uniform 1/rate.
+  double conns_per_sec = 1000.0;
+  /// Arrivals stop after this window (measured from start()).
+  SimDuration duration = seconds(1);
+  /// Hard cap on connections launched; 0 means duration-bound only.
+  std::uint64_t max_conns = 0;
+
+  /// Keep-alive depth: sequential requests per connection.
+  int requests_per_conn = 1;
+  /// Pause between a response and the connection's next request.
+  SimDuration think_time = 0;
+
+  struct MixEntry {
+    std::string path;
+    std::uint32_t weight = 1;
+  };
+  /// Weighted request mix; empty means 100% "/".
+  std::vector<MixEntry> mix;
+
+  bool exponential_arrivals = true;
+  std::uint64_t seed = 1;
+  tcp::SocketOptions socket{.nodelay = true};
+};
+
+class LoadGen {
+ public:
+  /// `clients`: one or more client-host TCP layers; connections round-
+  /// robin across them, spreading the ephemeral-port load (one layer
+  /// caps out at 16384 concurrent ports). `hub` (optional) receives the
+  /// loadgen.* counters and the request-latency histogram.
+  LoadGen(sim::Simulator& sim, std::vector<tcp::TcpLayer*> clients,
+          LoadGenConfig cfg, obs::Hub* hub = nullptr);
+  ~LoadGen();
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  /// Begins the arrival schedule at the current sim time.
+  void start();
+
+  /// The arrival window has elapsed (or max_conns was hit): no further
+  /// connections will be launched.
+  bool arrivals_done() const { return arrivals_done_; }
+  /// All launched connections have completed or failed.
+  bool done() const { return arrivals_done_ && conns_.empty(); }
+
+  std::uint64_t conns_started() const { return started_; }
+  std::uint64_t conns_established() const { return established_; }
+  std::uint64_t conns_completed() const { return completed_; }
+  std::uint64_t conns_failed() const { return failed_; }
+  /// connect() refused locally (ephemeral-port exhaustion) — a subset of
+  /// conns_failed.
+  std::uint64_t connect_failures() const { return connect_failures_; }
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t responses_ok() const { return responses_ok_; }
+  std::uint64_t responses_bad() const { return responses_bad_; }
+  std::uint64_t live_conns() const { return conns_.size(); }
+
+  /// Raw client-visible per-request latencies, in arrival order of the
+  /// responses (exact percentiles; the obs histogram is bucketed).
+  const std::vector<SimDuration>& latencies() const { return latencies_; }
+
+  /// Raw connection-setup latencies (connect() to established). At high
+  /// churn a server blackout shows up here, not in request latency: a
+  /// connection's whole life is shorter than the outage, so the stalled
+  /// party is the handshake (SYN retries against a dropped backlog), not
+  /// an established exchange.
+  const std::vector<SimDuration>& setup_latencies() const {
+    return setup_latencies_;
+  }
+
+ private:
+  struct Conn {
+    std::shared_ptr<tcp::Connection> conn;
+    int remaining = 0;        // requests not yet answered
+    std::string rx;           // partial response bytes
+    SimTime launched_at = 0;  // when connect() was issued
+    SimTime sent_at = 0;      // when the in-flight request went out
+    bool inflight = false;    // a request awaits its response
+    bool thinking = false;    // think-time pause before the next request
+  };
+
+  void schedule_next_arrival();
+  void launch_conn();
+  void send_request(std::uint64_t id);
+  void consume_responses(std::uint64_t id);
+  void finish_conn(std::uint64_t id, bool ok);
+  const std::string& pick_path();
+
+  sim::Simulator& sim_;
+  std::vector<tcp::TcpLayer*> clients_;
+  LoadGenConfig cfg_;
+  Rng rng_;
+  std::uint32_t mix_total_weight_ = 0;
+  SimTime arrivals_end_ = 0;
+  bool arrivals_done_ = true;
+
+  std::unordered_map<std::uint64_t, Conn> conns_;  // by Connection::id
+  std::uint64_t started_ = 0;
+  std::uint64_t established_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t responses_ok_ = 0;
+  std::uint64_t responses_bad_ = 0;
+  std::vector<SimDuration> latencies_;
+  std::vector<SimDuration> setup_latencies_;
+
+  obs::Counter* ctr_started_ = nullptr;
+  obs::Counter* ctr_established_ = nullptr;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_failed_ = nullptr;
+  obs::Counter* ctr_connect_failures_ = nullptr;
+  obs::Counter* ctr_requests_sent_ = nullptr;
+  obs::Counter* ctr_responses_ok_ = nullptr;
+  obs::Counter* ctr_responses_bad_ = nullptr;
+  obs::Histogram* hist_latency_ = nullptr;
+  obs::Histogram* hist_setup_ = nullptr;
+};
+
+}  // namespace tfo::apps

@@ -23,6 +23,7 @@ PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
   ctr_stray_fin_acks_ = &reg.counter("bridge.stray_fin_acks");
   ctr_stray_fin_suppressed_ = &reg.counter("bridge.stray_fin_suppressed");
   ctr_divergences_ = &reg.counter("bridge.divergences");
+  ctr_embryonic_reaped_ = &reg.counter("bridge.embryonic_reaped");
   gau_connections_ = &reg.gauge("bridge.connections");
   gau_tombstones_ = &reg.gauge("bridge.tombstones");
   out_tap_ = host_.tcp().add_outbound_tap(
@@ -95,6 +96,13 @@ BridgeConn& PrimaryBridge::conn_for(const ConnKey& key) {
     *r.first = std::make_unique<BridgeConn>(*this, key, cfg_.secondary_addr);
     (*r.first)->attach_obs(&host_.obs(), &host_.simulator());
     if (secondary_failed_) (*r.first)->on_secondary_failed();
+    // Watch the handshake: if it never completes (SYN dropped in a
+    // backlog overflow, client gone), the sweep reaps this entry — a SYN
+    // burst must not grow the bridge table without bound.
+    const SimTime deadline =
+        host_.simulator().now() + static_cast<SimTime>(tombstone_ttl_);
+    embryonic_.insert_or_assign(key, deadline);
+    arm_tombstone_sweep(deadline);
     publish_gauges();
     note_event(obs::EventKind::kConnCreated, key);
     TFO_LOG(kDebug, "bridge") << "primary bridge: new connection " << key.str();
@@ -274,6 +282,27 @@ void PrimaryBridge::sweep_tombstones() {
   for (const ConnKey& key : expired) {
     note_event(obs::EventKind::kTombstoneExpired, key);
     tombstones_.erase(key);
+  }
+  // Handshake watch: entries past their deadline leave the watch list;
+  // those whose BridgeConn never completed the handshake take the
+  // stillborn connection state with them.
+  std::vector<ConnKey> watch_done;
+  embryonic_.for_each([&](const ConnKey& key, SimTime deadline) {
+    if (deadline <= now) {
+      watch_done.push_back(key);
+    } else if (next == 0 || deadline < next) {
+      next = deadline;
+    }
+  });
+  for (const ConnKey& key : watch_done) {
+    embryonic_.erase(key);
+    auto* v = conns_.find_value(key);
+    if (v != nullptr && !(*v)->handshake_done()) {
+      conns_.erase(key);
+      ctr_embryonic_reaped_->inc();
+      TFO_LOG(kDebug, "bridge")
+          << "primary bridge: reaped embryonic connection " << key.str();
+    }
   }
   publish_gauges();
   if (next != 0) arm_tombstone_sweep(next);

@@ -123,6 +123,14 @@ class PrimaryBridge : public BridgeConnSink {
   /// FIN retransmissions after deleting a connection's data structures),
   /// keyed to their expiry time. Drained by sweep_timer_.
   FlatMap<tcp::ConnKey, SimTime, tcp::ConnKeyHash> tombstones_;
+  /// Newly created bridge connections, keyed to a handshake deadline. A
+  /// client SYN creates a BridgeConn before the server TCP decides to
+  /// accept — if the SYN dies in a backlog overflow (or the client
+  /// vanishes), no teardown ever fires fully_closed, and without this
+  /// sweep a SYN burst would grow conns_ forever. Entries whose
+  /// connection completed the handshake are simply dropped at deadline;
+  /// the rest are reaped (bridge.embryonic_reaped).
+  FlatMap<tcp::ConnKey, SimTime, tcp::ConnKeyHash> embryonic_;
   SimDuration tombstone_ttl_;
   sim::Timer sweep_timer_;
   /// Connections awaiting deferred erase (batched into one event per
@@ -140,6 +148,7 @@ class PrimaryBridge : public BridgeConnSink {
   obs::Counter* ctr_stray_fin_acks_ = nullptr;
   obs::Counter* ctr_stray_fin_suppressed_ = nullptr;
   obs::Counter* ctr_divergences_ = nullptr;
+  obs::Counter* ctr_embryonic_reaped_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
   obs::Gauge* gau_tombstones_ = nullptr;
 };

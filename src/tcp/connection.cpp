@@ -102,7 +102,7 @@ Connection::Info Connection::info() const {
 // --------------------------------------------------------------- opening
 
 void Connection::start_active_open() {
-  iss_ = owner_.generate_isn();
+  iss_ = owner_.generate_isn(key_);
   snd_una_ = 0;
   snd_nxt_ = 0;
   state_ = TcpState::kSynSent;
@@ -111,7 +111,7 @@ void Connection::start_active_open() {
 
 void Connection::start_passive_open(const TcpSegment& syn) {
   TFO_ASSERT(syn.syn(), "passive open requires a SYN segment");
-  iss_ = owner_.generate_isn();
+  iss_ = owner_.generate_isn(key_);
   irs_ = syn.seq;
   rcv_nxt_ = 1;  // the SYN consumed offset 0
   if (syn.mss) eff_mss_ = std::min<std::uint32_t>(params_.mss, *syn.mss);
@@ -174,6 +174,7 @@ void Connection::close() {
       return;
     case TcpState::kSynRcvd:
     case TcpState::kEstablished:
+      leave_embryonic();  // closing out of SYN_RCVD frees the backlog slot
       fin_queued_ = true;
       state_ = TcpState::kFinWait1;
       try_send();
@@ -478,6 +479,25 @@ void Connection::handle_segment(const TcpSegment& seg) {
   }
 
   if (state_ == TcpState::kTimeWait) {
+    // RFC 1337 (TIME-WAIT assassination hazards): nothing received in
+    // TIME_WAIT may cut the 2MSL quiet period short. The only legitimate
+    // reincarnation path is the layer's recycle check, which runs before
+    // demux and requires a strictly newer ISN.
+    if (seg.rst()) {
+      // A stray or old-duplicate RST would "assassinate" the quiet
+      // period and let old segments corrupt the next incarnation: drop.
+      TFO_LOG(kDebug, "tcp") << key_.str()
+                             << " RST ignored in TIME_WAIT (RFC 1337)";
+      return;
+    }
+    if (seg.syn()) {
+      // An old duplicate SYN that failed the recycle criterion (its ISN
+      // is not newer than what we acknowledged). Answer with our current
+      // ACK; the peer — if live — resets that stale handshake and
+      // retries with a fresh, newer ISN.
+      send_ack_now();
+      return;
+    }
     if (seg.fin()) {
       // Peer retransmitted its FIN: our final ACK was lost. Re-ACK and
       // restart the 2MSL clock.
@@ -789,7 +809,14 @@ void Connection::on_keepalive() {
   keepalive_timer_.start(params_.keepalive_interval, [this] { on_keepalive(); });
 }
 
+void Connection::leave_embryonic() {
+  if (!embryonic_) return;
+  embryonic_ = false;
+  owner_.note_embryonic_done(key_.local_port);
+}
+
 void Connection::enter_established() {
+  leave_embryonic();
   state_ = TcpState::kEstablished;
   rto_timer_.stop();
   arm_keepalive();
@@ -812,6 +839,7 @@ void Connection::enter_time_wait() {
 
 void Connection::teardown(CloseReason reason) {
   if (state_ == TcpState::kClosed) return;
+  leave_embryonic();
   state_ = TcpState::kClosed;
   rto_timer_.stop();
   delack_timer_.stop();
@@ -823,7 +851,7 @@ void Connection::teardown(CloseReason reason) {
   app_writes_.clear();
   release_all_ooo();
   if (on_closed) on_closed(reason);
-  owner_.connection_closed(key_);
+  owner_.connection_closed(key_, id_);
 }
 
 }  // namespace tfo::tcp

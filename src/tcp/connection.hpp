@@ -91,6 +91,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Connection* (which the allocator recycles) or the 4-tuple (which a
   /// reconnecting client reuses).
   std::uint64_t id() const { return id_; }
+  /// RCV.NXT as an absolute 32-bit sequence number (IRS + offset). The
+  /// layer's TIME_WAIT recycle check compares a new SYN's ISN against
+  /// this: strictly newer means no old segment can enter the new window.
+  Seq32 rcv_nxt_abs() const { return seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)); }
   /// PacketBuffer bytes currently pinned by the out-of-order stash.
   std::size_t ooo_bytes_pinned() const { return ooo_bytes_; }
   bool failover_flagged() const { return failover_flagged_; }
@@ -161,6 +165,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void enter_time_wait();
   void teardown(CloseReason reason);
   void maybe_advance_close_states();
+  /// Releases this connection's listen-backlog slot (first exit from
+  /// SYN_RCVD only; idempotent).
+  void leave_embryonic();
 
   TcpLayer& owner_;
   ConnKey key_;
@@ -168,6 +175,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   TcpParams params_;
   bool failover_flagged_;
   bool nodelay_ = false;
+  /// True while this passive-open connection occupies a slot in its
+  /// listener's backlog (set by TcpLayer::handle_for_listener, cleared on
+  /// the first exit from SYN_RCVD).
+  bool embryonic_ = false;
 
   TcpState state_ = TcpState::kClosed;
 

@@ -45,6 +45,13 @@ struct TcpParams {
   /// default so experiments with thousands of connections stay fast.
   SimDuration msl = milliseconds(500);
 
+  /// Default listen backlog: the number of embryonic (SYN_RCVD)
+  /// connections a listener may hold at once. SYNs beyond the bound are
+  /// dropped silently (tcp.listen_overflows) — the client's SYN
+  /// retransmission retries once the queue drains, exactly like a real
+  /// stack under a burst. Per-listener override: SocketOptions::backlog.
+  std::uint32_t listen_backlog = 128;
+
   /// Cap on the PacketBuffer bytes one connection may pin in its
   /// out-of-order stash. Each stashed slice shares (pins) the storage of
   /// the frame it arrived in, so without a cap a reordering burst across

@@ -1,6 +1,7 @@
 #include "tcp/tcp_layer.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -14,6 +15,7 @@ TcpLayer::TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params,
       params_(params),
       rng_(seed),
       conns_(params.lanes == 0 ? 1 : params.lanes) {
+  isn_secret_ = rng_.next_u64();
   ip_.register_protocol(ip::Proto::kTcp,
                         [this](const ip::IpDatagram& d, const ip::RxMeta& m) {
                           on_datagram(d, m);
@@ -26,7 +28,9 @@ void TcpLayer::set_observability(obs::Hub* hub) {
     ctr_segments_sent_ = ctr_segments_received_ = ctr_segments_malformed_ = nullptr;
     ctr_rst_sent_ = ctr_conns_opened_ = ctr_conns_accepted_ = nullptr;
     ctr_ooo_budget_drops_ = ctr_cross_handoffs_ = nullptr;
+    ctr_listen_overflows_ = ctr_tw_recycled_ = nullptr;
     gau_connections_ = gau_pinned_bytes_ = nullptr;
+    for (auto& [port, l] : listeners_) l.ctr_accepted = l.ctr_overflows = nullptr;
     return;
   }
   auto& reg = hub->registry;
@@ -38,9 +42,22 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   ctr_conns_accepted_ = &reg.counter("tcp.connections_accepted");
   ctr_ooo_budget_drops_ = &reg.counter("tcp.ooo_dropped_budget");
   ctr_cross_handoffs_ = &reg.counter("lane.cross_handoffs");
+  ctr_listen_overflows_ = &reg.counter("tcp.listen_overflows");
+  ctr_tw_recycled_ = &reg.counter("tcp.time_wait_recycled");
   gau_connections_ = &reg.gauge("tcp.connections");
   gau_pinned_bytes_ = &reg.gauge("tcp.conn_bytes_pinned");
   gau_pinned_bytes_->set(pinned_bytes_);
+  // Listeners created before the hub was attached get their per-port
+  // counters now (apps::Host wires observability after construction, but
+  // tests may listen() first).
+  for (auto& [port, l] : listeners_) resolve_listener_counters(port, l);
+}
+
+void TcpLayer::resolve_listener_counters(std::uint16_t port, Listener& l) {
+  if (!obs_) return;
+  const std::string prefix = "tcp.listen." + std::to_string(port);
+  l.ctr_accepted = &obs_->registry.counter(prefix + ".accepted");
+  l.ctr_overflows = &obs_->registry.counter(prefix + ".overflows");
 }
 
 void TcpLayer::note_pinned_delta(std::int64_t delta) {
@@ -52,37 +69,62 @@ void TcpLayer::note_ooo_budget_drop() {
   if (ctr_ooo_budget_drops_) ctr_ooo_budget_drops_->inc();
 }
 
-Seq32 TcpLayer::generate_isn() {
+Seq32 TcpLayer::generate_isn(const ConnKey& key) {
   if (forced_isn_) {
     const Seq32 isn = *forced_isn_;
     forced_isn_.reset();
     return isn;
   }
-  return rng_.next_u32();
+  // RFC 6528: ISN = M + F(4-tuple, secret). M is a ~1µs-tick clock, so a
+  // reconnect on a recycled 4-tuple always carries an ISN strictly above
+  // anything the previous incarnation could have sent — the monotonicity
+  // the TIME_WAIT recycle check compares against. F is constant per
+  // tuple, so it cancels in that comparison.
+  const std::uint64_t clock = sim_.now() >> 10;
+  std::uint64_t f = ConnKeyHash{}(key) ^ isn_secret_;
+  f *= 0x2545F4914F6CDD1Dull;
+  f ^= f >> 32;
+  return static_cast<Seq32>(clock + f);
 }
 
 std::uint16_t TcpLayer::allocate_ephemeral_port() {
   // Deterministic allocation: replicated applications performing the same
   // active opens in the same order get the same ports on both replicas
   // (required for §7.2 server-initiated failover connections).
-  for (int i = 0; i < 16384; ++i) {
+  const int span = eph_hi_ - eph_lo_ + 1;
+  for (int i = 0; i < span; ++i) {
     const std::uint16_t port = next_ephemeral_;
-    next_ephemeral_ = next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
-    if (!listeners_.contains(port) && port_use_[port] == 0) return port;
+    next_ephemeral_ = next_ephemeral_ >= eph_hi_ ? eph_lo_ : next_ephemeral_ + 1;
+    // Probe only — a scan over the port space must not populate the map
+    // with dead zero entries (find, never operator[]).
+    if (!listeners_.contains(port) && port_use_.find_value(port) == nullptr) {
+      return port;
+    }
   }
-  TFO_ASSERT(false, "ephemeral port space exhausted");
+  // Exhausted: fail the allocation like EADDRNOTAVAIL. Under churn this
+  // is a load signal, not a programming error — TIME_WAIT recycling and
+  // 2MSL expiry will free ports for later connects.
+  TFO_LOG(kDebug, "tcp") << "ephemeral port space exhausted";
   return 0;
 }
 
 void TcpLayer::insert_conn(const ConnKey& key, std::shared_ptr<Connection> conn) {
   auto r = conns_.try_emplace(key);
-  if (r.second) ++port_use_[key.local_port];
+  if (r.second) ++*port_use_.try_emplace(key.local_port, 0u).first;
   *r.first = std::move(conn);
   if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
 }
 
+void TcpLayer::release_port(std::uint16_t port) {
+  if (auto* n = port_use_.find_value(port)) {
+    if (--*n == 0) port_use_.erase(port);
+  }
+}
+
 void TcpLayer::listen(std::uint16_t port, AcceptHandler on_accept, SocketOptions opts) {
-  listeners_[port] = Listener{std::move(on_accept), opts};
+  Listener l{std::move(on_accept), opts};
+  resolve_listener_counters(port, l);
+  listeners_[port] = std::move(l);
 }
 
 void TcpLayer::close_listener(std::uint16_t port) { listeners_.erase(port); }
@@ -99,6 +141,7 @@ std::shared_ptr<Connection> TcpLayer::connect(ip::Ipv4 remote_ip,
   ConnKey key;
   key.local_ip = ip_.address();
   key.local_port = local_port != 0 ? local_port : allocate_ephemeral_port();
+  if (key.local_port == 0) return nullptr;  // ephemeral space exhausted
   key.remote_ip = remote_ip;
   key.remote_port = remote_port;
   auto conn = std::make_shared<Connection>(*this, key, params_, opts.failover);
@@ -167,7 +210,7 @@ void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
             [](const auto& a, const auto& b) { return a->id() < b->id(); });
   for (auto& conn : moved) {
     const ConnKey old_key = conn->key();
-    if (conns_.erase(old_key)) --port_use_[old_key.local_port];
+    if (conns_.erase(old_key)) release_port(old_key.local_port);
     conn->rebind_local_ip(to);
     const ConnKey new_key = conn->key();  // read before the move nulls conn
     // Rekeying changes the 4-tuple hash, so a failed-over connection may
@@ -180,12 +223,23 @@ void TcpLayer::rekey_local_address(ip::Ipv4 from, ip::Ipv4 to,
   }
 }
 
-void TcpLayer::connection_closed(const ConnKey& key) {
-  // Deferred: the connection may be deep in its own call stack.
-  sim_.schedule_after(0, [this, key] {
-    if (conns_.erase(key)) --port_use_[key.local_port];
+void TcpLayer::connection_closed(const ConnKey& key, std::uint64_t id) {
+  // Deferred: the connection may be deep in its own call stack. The id
+  // check guards against ABA — if TIME_WAIT recycling (or any same-tick
+  // reconnect) re-populated this 4-tuple before the erase runs, the slot
+  // now holds a different, live connection that must survive.
+  sim_.schedule_after(0, [this, key, id] {
+    const auto* v = conns_.find_value(key);
+    if (v == nullptr || (*v)->id() != id) return;
+    conns_.erase(key);
+    release_port(key.local_port);
     if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
   });
+}
+
+void TcpLayer::note_embryonic_done(std::uint16_t port) {
+  auto it = listeners_.find(port);
+  if (it != listeners_.end() && it->second.pending > 0) --it->second.pending;
 }
 
 void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) {
@@ -210,8 +264,14 @@ void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) 
   }
 
   ConnKey key{dst, seg.dst_port, src, seg.src_port};
-  if (auto* conn = conns_.find_value(key)) {
-    (*conn)->handle_segment(seg);
+  if (auto* connp = conns_.find_value(key)) {
+    // Hold a reference: recycling erases the table slot under us.
+    std::shared_ptr<Connection> conn = *connp;
+    if (maybe_recycle_time_wait(conn, seg)) {
+      handle_for_listener(seg, src, dst);
+      return;
+    }
+    conn->handle_segment(seg);
     return;
   }
   if (seg.syn() && !seg.has_ack()) {
@@ -221,21 +281,62 @@ void TcpLayer::on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta) 
   if (!seg.rst()) send_rst_for(seg, src, dst);
 }
 
+bool TcpLayer::maybe_recycle_time_wait(const std::shared_ptr<Connection>& conn,
+                                       const TcpSegment& seg) {
+  // BSD-style recycling on the listening side only: a fresh SYN for a
+  // 4-tuple parked in TIME_WAIT may cut 2MSL short iff its ISN is
+  // strictly newer than everything the previous incarnation acknowledged
+  // — then no old segment can fall inside the new receive window, which
+  // is the whole point of the quiet period. RFC 6528 ISNs make the
+  // criterion hold for every genuine reconnect; old duplicate SYNs fail
+  // it and fall through to the RFC 1337 handling in the connection.
+  if (conn->state() != TcpState::kTimeWait) return false;
+  if (!seg.syn() || seg.has_ack()) return false;
+  if (!listeners_.contains(seg.dst_port)) return false;
+  if (seq_diff(seg.seq, conn->rcv_nxt_abs()) <= 0) return false;
+  if (ctr_tw_recycled_) ctr_tw_recycled_->inc();
+  TFO_LOG(kDebug, "tcp") << conn->key().str() << " TIME_WAIT recycled by newer SYN";
+  // Evict synchronously so the listener path can claim the 4-tuple now;
+  // the teardown's own deferred erase is id-guarded and becomes a no-op.
+  const ConnKey key = conn->key();
+  if (conns_.erase(key)) release_port(key.local_port);
+  if (gau_connections_) gau_connections_->set(static_cast<std::int64_t>(conns_.size()));
+  conn->teardown(CloseReason::kGraceful);
+  return true;
+}
+
 void TcpLayer::handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst) {
   auto it = listeners_.find(seg.dst_port);
   if (it == listeners_.end()) {
     send_rst_for(seg, src, dst);
     return;
   }
+  Listener& l = it->second;
+  const std::uint32_t backlog =
+      l.opts.backlog != 0 ? l.opts.backlog : params_.listen_backlog;
+  if (l.pending >= backlog) {
+    // Listen queue full: drop the SYN silently, exactly like a real stack
+    // under a burst — no RST, the client's SYN retransmission retries
+    // after the queue drains. Allocating anyway would let a SYN flood
+    // grow the connection table without bound.
+    if (ctr_listen_overflows_) ctr_listen_overflows_->inc();
+    if (l.ctr_overflows) l.ctr_overflows->inc();
+    TFO_LOG(kDebug, "tcp") << "listen backlog full on port " << seg.dst_port
+                           << ", SYN dropped";
+    return;
+  }
+  ++l.pending;
   ConnKey key{dst, seg.dst_port, src, seg.src_port};
-  auto conn = std::make_shared<Connection>(*this, key, params_, it->second.opts.failover);
-  if (it->second.opts.nodelay) conn->set_nodelay(true);
+  auto conn = std::make_shared<Connection>(*this, key, params_, l.opts.failover);
+  if (l.opts.nodelay) conn->set_nodelay(true);
+  conn->embryonic_ = true;  // charged to the listener's backlog
   insert_conn(key, conn);
   if (ctr_conns_accepted_) ctr_conns_accepted_->inc();
+  if (l.ctr_accepted) l.ctr_accepted->inc();
   // Surface the connection to the application when it completes the
   // handshake (BSD semantics: accept returns an ESTABLISHED socket).
   conn->on_established = [conn_weak = std::weak_ptr<Connection>(conn),
-                          cb = it->second.on_accept] {
+                          cb = l.on_accept] {
     if (auto c = conn_weak.lock()) {
       if (cb) cb(c);
     }

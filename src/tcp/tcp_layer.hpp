@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/sharded.hpp"
 #include "ip/ip_layer.hpp"
@@ -42,6 +43,9 @@ struct SocketOptions {
   /// The paper's §7 method 1: mark this socket's connection as a TCP
   /// failover connection.
   bool failover = false;
+  /// Listen backlog override (embryonic-connection bound); 0 uses
+  /// TcpParams::listen_backlog.
+  std::uint32_t backlog = 0;
 };
 
 class TcpLayer {
@@ -103,16 +107,37 @@ class TcpLayer {
   /// Test hook: force the ISN of the next connection created.
   void set_next_isn(Seq32 isn) { forced_isn_ = isn; }
 
+  /// Test hook: restrict the ephemeral port range (inclusive). Makes
+  /// port-space exhaustion reachable in a unit test without opening
+  /// 16384 connections.
+  void set_ephemeral_range(std::uint16_t lo, std::uint16_t hi) {
+    eph_lo_ = lo;
+    eph_hi_ = hi;
+    next_ephemeral_ = lo;
+  }
+
   /// Attaches this layer to a host's observability hub (null detaches).
   /// Called by apps::Host at construction; standalone layers run bare.
   void set_observability(obs::Hub* hub);
   obs::Hub* observability() const { return obs_; }
 
-  Seq32 generate_isn();
+  /// RFC 6528-style ISN: a monotonic clock component plus a per-4-tuple
+  /// keyed offset. Successive connections on the same tuple always get a
+  /// strictly increasing ISN — the monotonicity TIME_WAIT recycling keys
+  /// on. (set_next_isn overrides the next call.)
+  Seq32 generate_isn(const ConnKey& key);
+  /// Returns 0 when the ephemeral space is exhausted (the caller's
+  /// connect() fails like a real stack's EADDRNOTAVAIL, instead of
+  /// asserting out of a churn experiment).
   std::uint16_t allocate_ephemeral_port();
 
   // Internal (Connection support).
-  void connection_closed(const ConnKey& key);
+  /// `id` guards the deferred erase against ABA: if the 4-tuple was
+  /// recycled before the erase runs, the new connection must survive.
+  void connection_closed(const ConnKey& key, std::uint64_t id);
+  /// An embryonic (SYN_RCVD) connection left the listen queue on `port`
+  /// (established, timed out, or reset) — frees one backlog slot.
+  void note_embryonic_done(std::uint16_t port);
   /// Monotonic per-layer connection id — never reused, unlike the 4-tuple
   /// or the Connection's address. Applications key session state on this
   /// (see src/apps) so a recycled allocation can't inherit stale state.
@@ -128,12 +153,28 @@ class TcpLayer {
   struct Listener {
     AcceptHandler on_accept;
     SocketOptions opts;
+    /// Embryonic (SYN_RCVD) connections currently charged to this
+    /// listener's backlog.
+    std::uint32_t pending = 0;
+    // Per-listener accept-rate counters (tcp.listen.<port>.*), resolved
+    // in listen()/set_observability; null when no hub is attached.
+    obs::Counter* ctr_accepted = nullptr;
+    obs::Counter* ctr_overflows = nullptr;
   };
 
   void on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta);
   void handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
   void send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
   void insert_conn(const ConnKey& key, std::shared_ptr<Connection> conn);
+  /// Drops one reference to `port` in port_use_, erasing the entry when
+  /// the count reaches zero (the map holds live ports only).
+  void release_port(std::uint16_t port);
+  void resolve_listener_counters(std::uint16_t port, Listener& l);
+  /// BSD-style TIME_WAIT recycling: a new SYN whose ISN is strictly newer
+  /// than everything the old incarnation acknowledged evicts the
+  /// TIME_WAIT connection and re-enters the listen path.
+  bool maybe_recycle_time_wait(const std::shared_ptr<Connection>& conn,
+                               const TcpSegment& seg);
 
   sim::Simulator& sim_;
   ip::IpLayer& ip_;
@@ -143,15 +184,31 @@ class TcpLayer {
   /// a lane's segments only probe its own shard. Failover rekeys may move
   /// a connection between shards (cross-lane handoff, lane.cross_handoffs).
   ShardedMap<ConnKey, std::shared_ptr<Connection>, ConnKeyHash> conns_;
-  /// Live connections per local port: O(1) collision checks in
+  /// Live-connection refcount per local port: O(1) collision checks in
   /// allocate_ephemeral_port (the old scan over conns_ made opening N
-  /// connections O(N²) — fatal at storm scale).
-  std::vector<std::uint32_t> port_use_ = std::vector<std::uint32_t>(65536, 0);
+  /// connections O(N²) — fatal at storm scale). Holds only ports that are
+  /// actually in use — the allocator probes with find() and never inserts,
+  /// so a churn run's port scan cannot bloat the table with zero entries,
+  /// and an idle host's footprint is O(live ports), not O(65536).
+  struct PortHash {
+    std::size_t operator()(std::uint16_t p) const noexcept {
+      std::uint64_t x = p;
+      x *= 0x9E3779B97F4A7C15ull;
+      x ^= x >> 32;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  FlatMap<std::uint16_t, std::uint32_t, PortHash> port_use_;
   std::unordered_map<std::uint16_t, Listener> listeners_;
   std::vector<std::pair<TapId, OutboundTap>> out_taps_;
   std::vector<std::pair<TapId, InboundTap>> in_taps_;
   TapId next_tap_id_ = 1;
+  std::uint16_t eph_lo_ = 49152;
+  std::uint16_t eph_hi_ = 65535;
   std::uint16_t next_ephemeral_ = 49152;
+  /// Key folded into every generated ISN's per-tuple offset (RFC 6528's
+  /// F(4-tuple, secret)); drawn from the layer seed at construction.
+  std::uint64_t isn_secret_ = 0;
   std::uint64_t next_conn_id_ = 1;
   std::int64_t pinned_bytes_ = 0;
   std::optional<Seq32> forced_isn_;
@@ -168,6 +225,8 @@ class TcpLayer {
   obs::Counter* ctr_conns_accepted_ = nullptr;
   obs::Counter* ctr_ooo_budget_drops_ = nullptr;
   obs::Counter* ctr_cross_handoffs_ = nullptr;
+  obs::Counter* ctr_listen_overflows_ = nullptr;
+  obs::Counter* ctr_tw_recycled_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
   obs::Gauge* gau_pinned_bytes_ = nullptr;
 };

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "apps/echo.hpp"
+#include "apps/http.hpp"
 #include "apps/store.hpp"
 #include "apps/topology.hpp"
+#include "failover_fixture.hpp"
 #include "test_util.hpp"
 
 namespace tfo::apps {
@@ -97,6 +99,50 @@ TEST_F(ChurnFixture, ConnectionIdsAreNeverReused) {
     sim().run_for(milliseconds(1));
   }
   EXPECT_EQ(seen.size(), 16u);
+}
+
+// Failover landing mid-handshake: the primary accepts the SYN (embryonic
+// connection created, session not yet established) and dies before the
+// handshake completes. The secondary — which accepted the same SYN
+// through its promiscuous tap — takes over, finishes the handshake via
+// SYN-ACK retransmission, and serves the connection's first request.
+TEST(SessionChurnFailover, HandshakeStartedOnPrimaryServedBySecondary) {
+  auto r = test::make_replicated_lan({}, {.ports = {8080}}, /*with_echo=*/false);
+  HttpServer web_p(r->primary().tcp(), 8080);
+  HttpServer web_s(r->secondary().tcp(), 8080);
+  for (HttpServer* w : {&web_p, &web_s}) {
+    w->add_document("/", to_bytes("<html>churn</html>"));
+  }
+  r->sim().run_for(milliseconds(100));  // detectors settle
+
+  auto conn = r->client().tcp().connect(r->primary().address(), 8080,
+                                        {.nodelay = true});
+  // Stop the instant the primary holds the embryonic connection — before
+  // any SYN-ACK can reach the client — and kill it right there.
+  const tcp::ConnKey pk{r->primary().address(), 8080, r->client().address(),
+                        conn->key().local_port};
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return r->primary().tcp().find(pk) != nullptr;
+  }));
+  ASSERT_NE(conn->state(), tcp::TcpState::kEstablished);
+  r->group->crash_primary();
+
+  std::string rx;
+  conn->on_established = [c = conn.get()] {
+    c->send(to_bytes("GET / HTTP/1.0\r\n\r\n"));
+  };
+  conn->on_readable = [&, c = conn.get()] {
+    Bytes got;
+    c->recv(got);
+    rx += to_string(got);
+  };
+  ASSERT_TRUE(run_until(r->sim(), [&] {
+    return rx.find("</html>") != std::string::npos;
+  }, seconds(30)));
+  EXPECT_EQ(rx.rfind("HTTP/1.0 200 OK", 0), 0u);
+  // The primary never served it; the secondary did.
+  EXPECT_EQ(web_p.requests_served(), 0u);
+  EXPECT_EQ(web_s.requests_served(), 1u);
 }
 
 }  // namespace
