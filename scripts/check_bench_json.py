@@ -230,6 +230,26 @@ def _check_churn(churn):
                 f"churn.points[{i}]: more than 5% of connections failed")
 
 
+def _check_attack(attack):
+    _expect(isinstance(attack, dict), "'attack' is not an object")
+    for key in ("injected_total", "connections_killed", "spoof_dropped",
+                "challenge_acks", "challenge_acks_limited", "icmp_rejected",
+                "hb_auth_failed", "baseline_steady_ms", "baseline_failover_ms",
+                "worst_slowdown"):
+        _expect(key in attack, f"attack missing '{key}'")
+        _expect(isinstance(attack[key], (int, float)) and attack[key] >= 0,
+                f"attack.{key} is not a non-negative number")
+    _expect(attack["injected_total"] > 0,
+            "attack.injected_total is zero — the adversary matrix never ran")
+    # The headline gate: an off-path adversary must never tear a bridged
+    # connection down, however many segments it sprays.
+    _expect(attack["connections_killed"] == 0,
+            f"attack.connections_killed {attack['connections_killed']} != 0")
+    _expect(attack["worst_slowdown"] <= 5,
+            f"attack.worst_slowdown {attack['worst_slowdown']} above the "
+            f"5x goodput-degradation gate")
+
+
 def check_document(doc):
     """Raises SchemaError when `doc` violates the bench artifact schema."""
     _expect(isinstance(doc, dict), "top level is not an object")
@@ -261,6 +281,8 @@ def check_document(doc):
         _check_shard(doc["shard"])
     if "churn" in doc:
         _check_churn(doc["churn"])
+    if "attack" in doc:
+        _check_attack(doc["attack"])
 
 
 def check_file(path):
@@ -360,6 +382,13 @@ def self_test():
                  "embryonic_reaped": 0, "growth_bytes_per_conn": 346.0},
             ],
         },
+        "attack": {
+            "injected_total": 52000, "connections_killed": 0,
+            "spoof_dropped": 1200, "challenge_acks": 310,
+            "challenge_acks_limited": 40, "icmp_rejected": 18,
+            "hb_auth_failed": 900, "baseline_steady_ms": 810.0,
+            "baseline_failover_ms": 1020.0, "worst_slowdown": 1.2,
+        },
     }
     check_document(good)
 
@@ -431,6 +460,16 @@ def self_test():
             conns_failed=5000)),
         ("churn negative growth", lambda d: d["churn"]["points"][0].update(
             growth_bytes_per_conn=-1)),
+        ("attack missing killed", lambda d: d["attack"].pop(
+            "connections_killed")),
+        ("attack connection killed", lambda d: d["attack"].update(
+            connections_killed=1)),
+        ("attack nothing injected", lambda d: d["attack"].update(
+            injected_total=0)),
+        ("attack negative challenge count", lambda d: d["attack"].update(
+            challenge_acks=-5)),
+        ("attack slowdown above gate", lambda d: d["attack"].update(
+            worst_slowdown=8.0)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)

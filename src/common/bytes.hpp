@@ -67,6 +67,11 @@ inline void put_u32(Bytes& b, std::uint32_t v) {
   b.insert(b.end(), w, w + 4);
 }
 
+inline void put_u64(Bytes& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+
 inline std::uint8_t get_u8(BytesView b, std::size_t off) { return b[off]; }
 inline std::uint16_t get_u16(BytesView b, std::size_t off) {
   return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
@@ -76,6 +81,10 @@ inline std::uint32_t get_u32(BytesView b, std::size_t off) {
          (static_cast<std::uint32_t>(b[off + 1]) << 16) |
          (static_cast<std::uint32_t>(b[off + 2]) << 8) |
          static_cast<std::uint32_t>(b[off + 3]);
+}
+
+inline std::uint64_t get_u64(BytesView b, std::size_t off) {
+  return (static_cast<std::uint64_t>(get_u32(b, off)) << 32) | get_u32(b, off + 4);
 }
 
 /// Overwrites a big-endian u16 in place (header field rewrite).

@@ -56,6 +56,30 @@ TcpSegment BridgeConn::base_segment_to_remote() const {
 
 // ----------------------------------------------------------- remote side
 
+bool BridgeConn::remote_seq_plausible(const TcpSegment& seg) const {
+  // One advertised window (≤ 64 KiB) of slack behind the merged ACK for
+  // retransmissions, twice that ahead for in-flight data.
+  constexpr std::int64_t kSlack = 65536;
+  if (!remote_isn_known_) {
+    // Nothing to validate against yet: only a handshake SYN may touch the
+    // connection — it is what fixes the remote ISN.
+    return seg.syn();
+  }
+  if (seg.syn()) return seg.seq == irs_;  // handshake retransmission only
+  const std::int64_t off = static_cast<std::int64_t>(unwrap_c_.unwrap(seg.seq));
+  const std::int64_t base = static_cast<std::int64_t>(min_ack());
+  return off >= base - kSlack && off <= base + 2 * kSlack;
+}
+
+bool BridgeConn::secondary_seq_plausible(const TcpSegment& seg) const {
+  constexpr std::int64_t kSlack = 65536;
+  if (!have_s_syn_) return seg.syn();  // only the handshake may fix iss_s_
+  if (seg.syn()) return seg.seq == iss_s_;
+  const std::int64_t off = static_cast<std::int64_t>(unwrap_s_.unwrap(seg.seq));
+  const std::int64_t base = static_cast<std::int64_t>(next_to_client_);
+  return off >= base - kSlack && off <= base + 2 * kSlack;
+}
+
 void BridgeConn::on_remote_segment(TcpSegment& seg) {
   if (dead_) return;
 

@@ -91,6 +91,22 @@ class BridgeConn {
   /// known, in which case the caller must omit the ACK flag.
   std::optional<tfo::Seq32> remote_facing_ack() const;
 
+  /// Off-path hardening: true when `seg`'s sequence number is plausible
+  /// for this connection's remote endpoint — a handshake SYN restating the
+  /// known ISN (or fixing it, before it is known), or a sequence number
+  /// within one window's slack of the merged cumulative ACK. The owning
+  /// bridge consults this before letting a snooped segment mutate replica
+  /// state (bridge.spoof_dropped); a blind injector that cannot guess the
+  /// remote's sequence space fails it.
+  bool remote_seq_plausible(const tcp::TcpSegment& seg) const;
+
+  /// Same test for diverted segments claiming to come from the secondary:
+  /// their sequence numbers live in the secondary's server→client stream,
+  /// so a genuine one sits near the merge point (`next_to_client_`). A
+  /// forged orig-dst segment that fails this must not reach the merge
+  /// queues, where it would manufacture a spurious divergence teardown.
+  bool secondary_seq_plausible(const tcp::TcpSegment& seg) const;
+
   // -------------------------------------------------------------- state
   bool solo() const { return solo_; }
   bool dead() const { return dead_; }

@@ -27,6 +27,13 @@ struct FailoverConfig {
   SimDuration heartbeat_period = milliseconds(10);
   SimDuration failure_timeout = milliseconds(50);
 
+  /// Shared key for the heartbeat nonce chain (core/fault_detector.hpp):
+  /// both replicas must hold the same value, and an off-path attacker must
+  /// not — a forged or replayed heartbeat then fails verification
+  /// (fault.hb_auth_failed) instead of masking a dead peer or suppressing
+  /// takeover.
+  std::uint64_t hb_auth_seed = 0x4842'6175'7468'2e31ull;
+
   /// Pause between starting the §5 takeover and resuming transmission
   /// (models the reconfiguration steps taking nonzero time).
   SimDuration takeover_pause = 0;

@@ -15,6 +15,16 @@
 
 namespace tfo::core {
 
+/// Key for the heartbeat nonce chain, shared by both ends of a detector
+/// pair (FailoverConfig::hb_auth_seed). Heartbeats carry
+/// ["HB", k:u64, nonce:u64] where k is the sender's simulation clock
+/// (monotonic across detector replacement) and nonce is a keyed hash of
+/// (seed, sender address, k). A receiver accepts only a matching nonce
+/// with k at or above its high-water mark, so an off-path attacker can
+/// neither forge a heartbeat (to suppress a takeover) nor replay or
+/// reflect a captured one (fault.hb_auth_failed counts the attempts).
+constexpr std::uint64_t kDefaultHbAuthSeed = 0x4842'6175'7468'2e31ull;
+
 class FaultDetector {
  public:
   /// `src` is the source address stamped on outgoing heartbeats — it must
@@ -22,7 +32,8 @@ class FaultDetector {
   /// serving host speaks as the service address, not its interface).
   /// any() uses the egress interface address.
   FaultDetector(apps::Host& host, ip::Ipv4 peer, SimDuration period,
-                SimDuration timeout, ip::Ipv4 src = ip::Ipv4::any());
+                SimDuration timeout, ip::Ipv4 src = ip::Ipv4::any(),
+                std::uint64_t auth_seed = kDefaultHbAuthSeed);
   ~FaultDetector();
 
   /// Fired exactly once when the peer is declared failed.
@@ -34,6 +45,7 @@ class FaultDetector {
   bool peer_declared_failed() const { return declared_; }
   std::uint64_t heartbeats_sent() const { return sent_; }
   std::uint64_t heartbeats_received() const { return received_; }
+  std::uint64_t auth_failures() const { return auth_failed_; }
 
  private:
   void send_heartbeat();
@@ -48,9 +60,13 @@ class FaultDetector {
   sim::Timer deadline_;
   bool running_ = false;
   bool declared_ = false;
-  std::uint64_t sent_ = 0, received_ = 0;
+  std::uint64_t sent_ = 0, received_ = 0, auth_failed_ = 0;
+  std::uint64_t auth_seed_;
+  /// Anti-replay high-water mark: smallest k the next heartbeat may carry.
+  std::uint64_t expect_k_ = 0;
   obs::Counter* ctr_sent_ = nullptr;
   obs::Counter* ctr_received_ = nullptr;
+  obs::Counter* ctr_auth_failed_ = nullptr;
   /// Liveness sentinel: the protocol-handler registration on the host
   /// outlives this object when a detector is replaced (reintegration);
   /// the handler checks the sentinel before touching `this`.
@@ -64,7 +80,8 @@ class FaultDetector {
 /// the host's heartbeat protocol number.)
 class HeartbeatMesh {
  public:
-  HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration timeout);
+  HeartbeatMesh(apps::Host& host, SimDuration period, SimDuration timeout,
+                std::uint64_t auth_seed = kDefaultHbAuthSeed);
   ~HeartbeatMesh();
 
   /// Registers a peer to watch. May be called after start() (e.g. when a
@@ -82,6 +99,7 @@ class HeartbeatMesh {
     std::function<void()> on_failed;
     std::unique_ptr<sim::Timer> deadline;
     bool declared = false;
+    std::uint64_t expect_k = 0;  // per-sender anti-replay high-water mark
   };
   void send_heartbeats();
   void arm(Peer& peer);
@@ -89,11 +107,13 @@ class HeartbeatMesh {
   apps::Host& host_;
   SimDuration period_;
   SimDuration timeout_;
+  std::uint64_t auth_seed_;
   /// Peers get stable heap storage: armed deadline callbacks capture a
   /// `Peer*`, and a `watch()` issued after timers are armed (reintegration)
   /// must not invalidate it by reallocating the vector.
   std::vector<std::unique_ptr<Peer>> peers_;
   sim::Timer send_timer_;
+  obs::Counter* ctr_auth_failed_ = nullptr;
   bool running_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -24,6 +24,7 @@ PrimaryBridge::PrimaryBridge(apps::Host& host, FailoverConfig cfg)
   ctr_stray_fin_suppressed_ = &reg.counter("bridge.stray_fin_suppressed");
   ctr_divergences_ = &reg.counter("bridge.divergences");
   ctr_embryonic_reaped_ = &reg.counter("bridge.embryonic_reaped");
+  ctr_spoof_dropped_ = &reg.counter("bridge.spoof_dropped");
   gau_connections_ = &reg.gauge("bridge.connections");
   gau_tombstones_ = &reg.gauge("bridge.tombstones");
   out_tap_ = host_.tcp().add_outbound_tap(
@@ -133,6 +134,15 @@ TapVerdict PrimaryBridge::inbound_tap(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& 
     const ConnKey key{dst, seg.src_port, *seg.orig_dst, seg.dst_port};
     if (secondary_failed_) return TapVerdict::kDrop;  // §6 step 2
     if (auto* conn = find(key)) {
+      if (!conn->secondary_seq_plausible(seg)) {
+        // A forged orig-dst segment would otherwise feed the merge queues
+        // and manufacture a "divergence" teardown. Genuine secondary
+        // segments always sit near the merge point.
+        ctr_spoof_dropped_->inc();
+        TFO_LOG(kDebug, "bridge")
+            << "implausible diverted segment dropped " << seg.summary();
+        return TapVerdict::kDrop;
+      }
       conn->on_secondary_segment(seg);
     } else if (tombstoned(key) && seg.fin()) {
       // §8: "When the bridge receives a FIN that S sent after the bridge
@@ -151,6 +161,25 @@ TapVerdict PrimaryBridge::inbound_tap(TcpSegment& seg, ip::Ipv4& src, ip::Ipv4& 
   // Segment from the remote endpoint (client, or server T for §7.2).
   const ConnKey key{dst, seg.dst_port, src, seg.src_port};
   if (auto* conn = find(key)) {
+    if (seg.rst()) {
+      // A reset tombstones the bridge connection, so it may mutate bridge
+      // state only when provably genuine: sequence number exactly at our
+      // TCP's RCV.NXT (the same test RFC 5961 §3.2 applies for teardown).
+      // Anything else is left to the TCP layer, which challenges or drops
+      // it — a genuine peer answers the challenge with an exact RST that
+      // passes here on the second round.
+      const auto tc = host_.tcp().find(key);
+      if (!tc || seg.seq != tc->rcv_nxt_abs()) {
+        ctr_spoof_dropped_->inc();
+        return TapVerdict::kContinue;
+      }
+    } else if (!conn->remote_seq_plausible(seg)) {
+      // Blind injection: do not let it advance unwrap state, the merged
+      // ACK, or the FIN bookkeeping. Forwarded untranslated, the TCP
+      // layer's own RFC 5961 window checks dispose of it.
+      ctr_spoof_dropped_->inc();
+      return TapVerdict::kContinue;
+    }
     conn->on_remote_segment(seg);
     return TapVerdict::kContinue;
   }

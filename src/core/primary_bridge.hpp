@@ -149,6 +149,7 @@ class PrimaryBridge : public BridgeConnSink {
   obs::Counter* ctr_stray_fin_suppressed_ = nullptr;
   obs::Counter* ctr_divergences_ = nullptr;
   obs::Counter* ctr_embryonic_reaped_ = nullptr;
+  obs::Counter* ctr_spoof_dropped_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
   obs::Gauge* gau_tombstones_ = nullptr;
 };

@@ -32,7 +32,8 @@ ReplicaChain::ReplicaChain(std::vector<apps::Host*> hosts, FailoverConfig cfg)
       m.divert->set_divert_to(i == 1 ? service_addr_ : hosts[i - 1]->address());
     }
     m.mesh = std::make_unique<HeartbeatMesh>(*m.host, cfg_.heartbeat_period,
-                                             cfg_.failure_timeout);
+                                             cfg_.failure_timeout,
+                                             cfg_.hb_auth_seed);
     members_.push_back(std::move(m));
   }
   // Full-mesh watching: any member's detector may be first to notice.

@@ -14,9 +14,11 @@ ReplicaGroup::ReplicaGroup(apps::Host& primary, apps::Host& secondary,
   primary_bridge_ = std::make_unique<PrimaryBridge>(*primary_host_, cfg_);
   secondary_bridge_ = std::make_unique<SecondaryBridge>(*secondary_host_, cfg_);
   fd_primary_ = std::make_unique<FaultDetector>(
-      *primary_host_, cfg_.secondary_addr, cfg_.heartbeat_period, cfg_.failure_timeout);
+      *primary_host_, cfg_.secondary_addr, cfg_.heartbeat_period,
+      cfg_.failure_timeout, ip::Ipv4::any(), cfg_.hb_auth_seed);
   fd_secondary_ = std::make_unique<FaultDetector>(
-      *secondary_host_, cfg_.primary_addr, cfg_.heartbeat_period, cfg_.failure_timeout);
+      *secondary_host_, cfg_.primary_addr, cfg_.heartbeat_period,
+      cfg_.failure_timeout, ip::Ipv4::any(), cfg_.hb_auth_seed);
 
   wire_detectors();
 }
@@ -76,10 +78,10 @@ void ReplicaGroup::reintegrate_secondary(apps::Host& recruit) {
   // (the survivor may be speaking through a takeover alias).
   fd_primary_ = std::make_unique<FaultDetector>(
       *primary_host_, cfg_.secondary_addr, cfg_.heartbeat_period,
-      cfg_.failure_timeout, cfg_.primary_addr);
+      cfg_.failure_timeout, cfg_.primary_addr, cfg_.hb_auth_seed);
   fd_secondary_ = std::make_unique<FaultDetector>(
       *secondary_host_, cfg_.primary_addr, cfg_.heartbeat_period,
-      cfg_.failure_timeout);
+      cfg_.failure_timeout, ip::Ipv4::any(), cfg_.hb_auth_seed);
   wire_detectors();
   start();
 }

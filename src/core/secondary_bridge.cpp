@@ -15,6 +15,7 @@ SecondaryBridge::SecondaryBridge(apps::Host& host, FailoverConfig cfg)
   ctr_translated_ = &reg.counter("secondary.datagrams_translated");
   ctr_diverted_ = &reg.counter("secondary.segments_diverted");
   ctr_snooped_dropped_ = &reg.counter("secondary.snooped_dropped");
+  ctr_spoof_dropped_ = &reg.counter("bridge.spoof_dropped");
   host_.nic().set_promiscuous(true);
   ip_hook_ = host_.ip().add_inbound_hook(
       [this](ip::IpDatagram& d, const ip::RxMeta& m) { return ip_inbound(d, m); });
@@ -74,6 +75,33 @@ HookVerdict SecondaryBridge::ip_inbound(ip::IpDatagram& dgram, const ip::RxMeta&
     if (!match) {
       ctr_snooped_dropped_->inc();
       return HookVerdict::kDrop;
+    }
+    // Off-path hardening: before translating the snooped segment into our
+    // replica's receive path, check its sequence number against the
+    // connection it claims to belong to. State-changing segments (RST,
+    // SYN) must sit exactly at the replica's RCV.NXT — the same test RFC
+    // 5961 applies for teardown — and data must land within a window or
+    // two of it. A blind injector guessing sequence numbers fails this
+    // and never perturbs the replica; a genuine peer that trips it (e.g.
+    // an inexact RST) is re-challenged by the primary's TCP layer and
+    // passes on the exact retry.
+    if (auto conn = host_.tcp().find(
+            tcp::ConnKey{host_.address(), dst_port, dgram.src, src_port});
+        conn && conn->state() != tcp::TcpState::kSynSent) {
+      // In SYN_SENT (server-initiated connections, §7.2) the replica has
+      // not learned the remote ISN yet — the snooped SYN|ACK is what
+      // fixes it, so there is nothing to check the sequence against; the
+      // TCP layer's own SYN_SENT rule (ACK must equal ISS+1) gates
+      // forgeries there.
+      constexpr std::int32_t kSlack = 2 * 65536;
+      const std::int32_t rel =
+          seq_diff(Seq32{get_u32(dgram.payload, 4)}, conn->rcv_nxt_abs());
+      const bool state_changing =
+          get_u8(dgram.payload, 13) & (tcp::Flags::kRst | tcp::Flags::kSyn);
+      if (state_changing ? rel != 0 : (rel < -kSlack || rel > kSlack)) {
+        ctr_spoof_dropped_->inc();
+        return HookVerdict::kDrop;
+      }
     }
     // Rewrite a_p -> a_s and fix the TCP checksum incrementally in the
     // serialized segment (the pseudo-header destination changed). This is

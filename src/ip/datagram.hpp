@@ -13,6 +13,8 @@ namespace tfo::ip {
 
 /// IP protocol numbers the stack demultiplexes.
 enum class Proto : std::uint8_t {
+  /// Control messages (fragmentation-needed for PMTUD; see ip/icmp.hpp).
+  kIcmp = 1,
   kTcp = 6,
   /// Fault-detector heartbeats (an unassigned experimental number).
   kHeartbeat = 200,

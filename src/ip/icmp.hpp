@@ -1,0 +1,80 @@
+// ICMP messages — specifically the one that matters for TCP hardening:
+// type 3 code 4, "fragmentation needed and DF set" (RFC 792/1191). A
+// router on the path quotes the IP header and the first 8 transport bytes
+// of the datagram it could not forward, plus the next-hop MTU. Because
+// ICMP is neither authenticated nor connection-bound, an off-path
+// attacker can forge these to clamp a victim's MSS or black-hole its path
+// (the PMTUD attacks of the off-path literature); the TCP layer therefore
+// validates the quoted bytes against in-flight segments and clamps the
+// claimed MTU at TcpParams::min_pmtu before acting.
+//
+// Wire format (22 bytes, all fields big-endian):
+//   [0]      type              [1]      code            [2..3]  next-hop MTU
+//   [4..7]   quoted src IP     [8..11]  quoted dst IP   [12]    quoted proto
+//   [13]     reserved
+//   [14..21] quoted first 8 transport-header bytes — for TCP: src port (2),
+//            dst port (2), sequence number (4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "ip/addr.hpp"
+
+namespace tfo::ip {
+
+constexpr std::uint8_t kIcmpDestUnreachable = 3;
+constexpr std::uint8_t kIcmpFragNeeded = 4;  // code under type 3
+
+struct IcmpMessage {
+  std::uint8_t type = kIcmpDestUnreachable;
+  std::uint8_t code = kIcmpFragNeeded;
+  /// Next-hop MTU (frag-needed only; 0 for pre-RFC 1191 routers).
+  std::uint16_t mtu = 0;
+
+  // The quoted offending datagram: IP header essentials plus the first 8
+  // transport bytes — for TCP that is both ports and the sequence number,
+  // exactly what RFC 792 guarantees and what validation needs.
+  Ipv4 quoted_src;
+  Ipv4 quoted_dst;
+  std::uint8_t quoted_proto = 6;
+  std::uint16_t quoted_src_port = 0;
+  std::uint16_t quoted_dst_port = 0;
+  std::uint32_t quoted_seq = 0;
+
+  static constexpr std::size_t kWireBytes = 22;
+
+  Bytes serialize() const {
+    Bytes b;
+    b.reserve(kWireBytes);
+    put_u8(b, type);
+    put_u8(b, code);
+    put_u16(b, mtu);
+    put_u32(b, quoted_src.v);
+    put_u32(b, quoted_dst.v);
+    put_u8(b, quoted_proto);
+    put_u8(b, 0);  // reserved
+    put_u16(b, quoted_src_port);
+    put_u16(b, quoted_dst_port);
+    put_u32(b, quoted_seq);
+    return b;
+  }
+
+  static std::optional<IcmpMessage> parse(BytesView w) {
+    if (w.size() < kWireBytes) return std::nullopt;
+    IcmpMessage m;
+    m.type = get_u8(w, 0);
+    m.code = get_u8(w, 1);
+    m.mtu = get_u16(w, 2);
+    m.quoted_src = Ipv4{get_u32(w, 4)};
+    m.quoted_dst = Ipv4{get_u32(w, 8)};
+    m.quoted_proto = get_u8(w, 12);
+    m.quoted_src_port = get_u16(w, 14);
+    m.quoted_dst_port = get_u16(w, 16);
+    m.quoted_seq = get_u32(w, 18);
+    return m;
+  }
+};
+
+}  // namespace tfo::ip

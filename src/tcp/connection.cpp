@@ -116,6 +116,7 @@ void Connection::start_passive_open(const TcpSegment& syn) {
   rcv_nxt_ = 1;  // the SYN consumed offset 0
   if (syn.mss) eff_mss_ = std::min<std::uint32_t>(params_.mss, *syn.mss);
   snd_wnd_ = syn.window;
+  max_snd_wnd_ = std::max(max_snd_wnd_, snd_wnd_);
   state_ = TcpState::kSynRcvd;
   send_syn(/*with_ack=*/true);
 }
@@ -328,6 +329,37 @@ void Connection::send_ack_now() {
   emit(std::move(seg));
 }
 
+void Connection::send_challenge_ack() {
+  if (!owner_.approve_challenge_ack(*this)) return;
+  send_ack_now();
+}
+
+bool Connection::on_icmp_frag_needed(Seq32 quoted_seq, std::uint32_t claimed_mtu) {
+  // The quoted segment must be one of ours and still in flight: its
+  // sequence number must fall in [SND.UNA, SND.NXT). An off-path forger
+  // does not know our sequence space (RFC 6528 keyed ISNs), so this is
+  // the same guessing problem as a blind RST.
+  const std::int32_t d =
+      seq_diff(quoted_seq, seq_add(iss_, static_cast<std::int64_t>(snd_una_)));
+  const std::int64_t off = static_cast<std::int64_t>(snd_una_) + d;
+  if (off < static_cast<std::int64_t>(snd_una_) ||
+      off >= static_cast<std::int64_t>(snd_nxt_)) {
+    return false;
+  }
+  // Clamp the claimed next-hop MTU at the RFC 1191 floor so even a valid
+  // (or lucky) message cannot collapse the MSS to a sliver, then shrink —
+  // never grow — the effective MSS. 40 = IP + TCP header bytes.
+  const std::uint32_t mtu =
+      std::max<std::uint32_t>(claimed_mtu, params_.min_pmtu);
+  const std::uint32_t new_mss = mtu - 40;
+  if (new_mss < eff_mss_) {
+    TFO_LOG(kDebug, "tcp") << key_.str() << " PMTU update: eff_mss "
+                           << eff_mss_ << " -> " << new_mss;
+    eff_mss_ = new_mss;
+  }
+  return true;
+}
+
 void Connection::send_rst() {
   TcpSegment seg;
   seg.src_port = key_.local_port;
@@ -468,6 +500,7 @@ void Connection::handle_segment(const TcpSegment& seg) {
     rcv_nxt_ = 1;
     if (seg.mss) eff_mss_ = std::min<std::uint32_t>(params_.mss, *seg.mss);
     snd_wnd_ = seg.window;
+    max_snd_wnd_ = std::max(max_snd_wnd_, snd_wnd_);
     if (seg.has_ack()) {
       snd_una_ = 1;
       retries_ = 0;
@@ -494,8 +527,10 @@ void Connection::handle_segment(const TcpSegment& seg) {
       // An old duplicate SYN that failed the recycle criterion (its ISN
       // is not newer than what we acknowledged). Answer with our current
       // ACK; the peer — if live — resets that stale handshake and
-      // retries with a fresh, newer ISN.
-      send_ack_now();
+      // retries with a fresh, newer ISN. Routed through the challenge-ACK
+      // budget: a SYN flood at a TIME_WAIT-heavy port must not turn us
+      // into an ACK amplifier.
+      send_challenge_ack();
       return;
     }
     if (seg.fin()) {
@@ -507,12 +542,14 @@ void Connection::handle_segment(const TcpSegment& seg) {
     return;
   }
 
-  // --- RST. RFC 793 p.37: a reset is honoured only when its sequence
-  // number falls inside the receive window (seq == RCV.NXT when the
-  // window is zero); anything else is silently discarded, which is also
-  // the blind-reset protection of RFC 5961 §3. Unsolicited resets built
-  // by the failover bridge must therefore carry the client-facing
-  // SND.NXT to take effect.
+  // --- RST. RFC 5961 §3.2 tightens RFC 793 p.37: only a reset whose
+  // sequence number is exactly RCV.NXT tears the connection down. One
+  // that is merely inside the receive window draws a rate-limited
+  // challenge ACK — a genuine peer that truly lost the connection
+  // answers the challenge with an exact-sequence RST, while a blind
+  // attacker sweeping the window gains nothing. Everything else is
+  // silently discarded. Unsolicited resets built by the failover bridge
+  // must therefore carry the client-facing SND.NXT to take effect.
   if (seg.rst()) {
     const std::int32_t rst_rel =
         seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
@@ -525,7 +562,26 @@ void Connection::handle_segment(const TcpSegment& seg) {
                              << seg.summary();
       return;
     }
+    if (rst_rel != 0) {
+      TFO_LOG(kDebug, "tcp") << key_.str()
+                             << " in-window inexact RST challenged "
+                             << seg.summary();
+      send_challenge_ack();
+      return;
+    }
     teardown(CloseReason::kReset);
+    return;
+  }
+
+  // --- SYN on a synchronized connection (RFC 5961 §4.2): never resync or
+  // tear down, whatever the sequence number says; answer with a
+  // rate-limited challenge ACK and drop the segment. A peer that
+  // genuinely rebooted responds to the challenge with an exact-sequence
+  // RST, which the branch above honours. (In SYN_RCVD — not yet
+  // synchronized — a duplicate SYN stays ignored; our RTO retransmits
+  // the SYN|ACK.)
+  if (seg.syn()) {
+    if (state_ != TcpState::kSynRcvd) send_challenge_ack();
     return;
   }
 
@@ -534,20 +590,29 @@ void Connection::handle_segment(const TcpSegment& seg) {
   const std::int32_t rel = seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
   if (rel < -(1 << 30) || rel > (1 << 30)) return;
 
-  if (seg.has_ack()) process_ack(seg);
+  // RFC 793 p.72: once synchronized, a segment without ACK is dropped —
+  // otherwise a blind injector could slip payload past the RFC 5961 §5.2
+  // ACK acceptability check simply by clearing the flag.
+  if (!seg.has_ack()) return;
+  if (!process_ack(seg)) return;  // unacceptable ACK: drop whole segment
   if (state_ == TcpState::kClosed) return;  // ack processing may tear down
 
-  if (!seg.payload.empty() || seg.syn()) process_data(seg);
+  if (!seg.payload.empty()) process_data(seg);
   if (seg.fin()) process_fin(seg);
 }
 
-void Connection::process_ack(const TcpSegment& seg) {
+bool Connection::process_ack(const TcpSegment& seg) {
   // Unwrap the ack field to a stream offset around snd_una_.
   const std::int32_t d =
       seq_diff(seg.ack, seq_add(iss_, static_cast<std::int64_t>(snd_una_)));
   const std::int64_t ack_off_s = static_cast<std::int64_t>(snd_una_) + d;
-  if (ack_off_s < 0) return;
+  if (ack_off_s < 0) return false;
   const std::uint64_t ack_off = static_cast<std::uint64_t>(ack_off_s);
+
+  // RFC 5961 §5.2 ACK acceptability: anything older than
+  // SND.UNA − MAX.SND.WND is a stale duplicate or a blind probe — drop it
+  // silently before it can feed the dupack or window machinery.
+  if (ack_off + max_snd_wnd_ < snd_una_) return false;
 
   if (state_ == TcpState::kSynRcvd) {
     if (ack_off >= 1) {
@@ -557,14 +622,17 @@ void Connection::process_ack(const TcpSegment& seg) {
       enter_established();
       // Fall through: the ACK may also carry data/window updates.
     } else {
-      return;
+      return false;
     }
   }
 
   if (ack_off > snd_nxt_) {
     if (ack_off > highest_sent_) {
-      send_ack_now();  // acks something never sent: bogus
-      return;
+      // Acks something never sent: bogus (RFC 5961 §5.2's upper bound).
+      // Challenge rather than plain-ACK so a blind ACK-window prober
+      // cannot extract unlimited responses.
+      send_challenge_ack();
+      return false;
     }
     // Ack of data sent before an RTO rewind: catch the send point up.
     snd_nxt_ = ack_off;
@@ -633,6 +701,7 @@ void Connection::process_ack(const TcpSegment& seg) {
   if (wl1_ < seq_off || (wl1_ == seq_off && wl2_ <= ack_off)) {
     const std::uint32_t old_wnd = snd_wnd_;
     snd_wnd_ = seg.window;
+    max_snd_wnd_ = std::max(max_snd_wnd_, snd_wnd_);
     wl1_ = seq_off;
     wl2_ = ack_off;
     if (old_wnd == 0 && snd_wnd_ > 0) persist_timer_.stop();
@@ -640,10 +709,10 @@ void Connection::process_ack(const TcpSegment& seg) {
 
   maybe_advance_close_states();
   if (state_ != TcpState::kClosed) try_send();
+  return true;
 }
 
 void Connection::process_data(const TcpSegment& seg) {
-  if (seg.syn()) return;  // duplicate handshake segment
   const std::int32_t rel =
       seq_diff(seg.seq, seq_add(irs_, static_cast<std::int64_t>(rcv_nxt_)));
   const std::int64_t start = static_cast<std::int64_t>(rcv_nxt_) + rel;

@@ -101,6 +101,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t bytes_sent_total() const { return bytes_sent_total_; }
   std::uint64_t bytes_received_total() const { return bytes_received_total_; }
   std::uint32_t effective_mss() const { return eff_mss_; }
+  /// Receive window most recently advertised to the peer.
+  std::uint16_t advertised_window() const { return last_adv_wnd_; }
   std::size_t send_buffer_used() const { return send_buf_.size(); }
   std::size_t send_queue_pending() const;
 
@@ -131,8 +133,18 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void emit(TcpSegment seg);
   void send_syn(bool with_ack);
   void send_ack_now();
+  /// RFC 5961 challenge ACK: a pure ACK of the current state, sent only if
+  /// the layer's global and this connection's per-connection rate budgets
+  /// allow it (tcp.challenge_acks / tcp.challenge_acks_limited).
+  void send_challenge_ack();
   void send_rst();
   void schedule_ack();
+
+  /// ICMP fragmentation-needed for this connection. Validates the quoted
+  /// sequence number against in-flight data and clamps the claimed MTU at
+  /// params.min_pmtu before shrinking eff_mss_. Returns false when the
+  /// message was rejected as implausible (forged or stale).
+  bool on_icmp_frag_needed(Seq32 quoted_seq, std::uint32_t claimed_mtu);
 
   // Output engine.
   void try_send();
@@ -148,7 +160,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void rtt_sample_maybe(std::uint64_t acked_to);
 
   // Inbound processing helpers.
-  void process_ack(const TcpSegment& seg);
+  /// Returns false when the ACK is unacceptable under RFC 5961 §5.2 (a
+  /// stale duplicate or a blind probe) — the caller must then drop the
+  /// whole segment, payload included: otherwise spoofed data riding an
+  /// unacceptable ACK would still reach the receive queue.
+  bool process_ack(const TcpSegment& seg);
   void process_data(const TcpSegment& seg);
   void process_fin(const TcpSegment& seg);
   void deliver_in_order();
@@ -189,6 +205,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t snd_nxt_ = 0;  // next offset to send
   std::uint64_t highest_sent_ = 0;  // high-water mark (survives RTO rewinds)
   std::uint32_t snd_wnd_ = 0;  // peer's advertised window
+  std::uint32_t max_snd_wnd_ = 0;  // largest window the peer ever advertised
   std::uint64_t wl1_ = 0;      // seq offset of last window update
   std::uint64_t wl2_ = 0;      // ack offset of last window update
   Bytes send_buf_;             // send_buf_[0] is stream offset send_base_
@@ -250,6 +267,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void on_keepalive();
 
   std::uint16_t last_adv_wnd_ = 0;
+
+  // Per-connection challenge-ACK budget, refreshed lazily when the layer's
+  // interval epoch advances (no per-connection timer).
+  std::uint64_t challenge_epoch_ = 0;
+  std::uint32_t challenge_used_ = 0;
 
   // Diagnostics.
   std::uint64_t stat_timeouts_ = 0;

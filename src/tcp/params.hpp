@@ -77,6 +77,25 @@ struct TcpParams {
   /// results and iteration *contents* are identical for every value.
   unsigned lanes = 1;
 
+  /// RFC 5961 challenge ACKs: an in-window-but-inexact RST, any SYN on a
+  /// synchronized connection, and an ACK beyond everything ever sent are
+  /// each answered with a rate-limited pure ACK instead of a teardown (or
+  /// silence). The budgets bound the ACK amplification an off-path
+  /// attacker can extract: a global per-layer allowance plus a
+  /// per-connection allowance, both refreshed every interval (the shape
+  /// of Linux's tcp_challenge_ack_limit).
+  std::uint32_t challenge_ack_limit = 1000;
+  std::uint32_t challenge_ack_per_conn = 10;
+  SimDuration challenge_ack_interval = seconds(1);
+
+  /// PMTUD hardening: an ICMP fragmentation-needed can never push the
+  /// effective path MTU below this floor (RFC 1191's lowest common
+  /// plateau, the same clamp Linux applies), so a forged ICMP cannot
+  /// collapse the MSS to a throughput-killing sliver. The quoted segment
+  /// must additionally match in-flight data or the message is rejected
+  /// outright (tcp.icmp_rejected).
+  std::uint16_t min_pmtu = 552;
+
   /// TCP keepalive: after `keepalive_idle` of silence on an established
   /// connection, send probes every `keepalive_interval`; abort after
   /// `keepalive_probes` unanswered probes. 0 idle disables (the default,

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "ip/icmp.hpp"
 
 namespace tfo::tcp {
 
@@ -14,11 +15,16 @@ TcpLayer::TcpLayer(sim::Simulator& sim, ip::IpLayer& ip, TcpParams params,
       ip_(ip),
       params_(params),
       rng_(seed),
-      conns_(params.lanes == 0 ? 1 : params.lanes) {
+      conns_(params.lanes == 0 ? 1 : params.lanes),
+      challenge_timer_(sim) {
   isn_secret_ = rng_.next_u64();
   ip_.register_protocol(ip::Proto::kTcp,
                         [this](const ip::IpDatagram& d, const ip::RxMeta& m) {
                           on_datagram(d, m);
+                        });
+  ip_.register_protocol(ip::Proto::kIcmp,
+                        [this](const ip::IpDatagram& d, const ip::RxMeta& m) {
+                          on_icmp(d, m);
                         });
 }
 
@@ -29,6 +35,7 @@ void TcpLayer::set_observability(obs::Hub* hub) {
     ctr_rst_sent_ = ctr_conns_opened_ = ctr_conns_accepted_ = nullptr;
     ctr_ooo_budget_drops_ = ctr_cross_handoffs_ = nullptr;
     ctr_listen_overflows_ = ctr_tw_recycled_ = nullptr;
+    ctr_challenge_acks_ = ctr_challenge_limited_ = ctr_icmp_rejected_ = nullptr;
     gau_connections_ = gau_pinned_bytes_ = nullptr;
     for (auto& [port, l] : listeners_) l.ctr_accepted = l.ctr_overflows = nullptr;
     return;
@@ -44,6 +51,9 @@ void TcpLayer::set_observability(obs::Hub* hub) {
   ctr_cross_handoffs_ = &reg.counter("lane.cross_handoffs");
   ctr_listen_overflows_ = &reg.counter("tcp.listen_overflows");
   ctr_tw_recycled_ = &reg.counter("tcp.time_wait_recycled");
+  ctr_challenge_acks_ = &reg.counter("tcp.challenge_acks");
+  ctr_challenge_limited_ = &reg.counter("tcp.challenge_acks_limited");
+  ctr_icmp_rejected_ = &reg.counter("tcp.icmp_rejected");
   gau_connections_ = &reg.gauge("tcp.connections");
   gau_pinned_bytes_ = &reg.gauge("tcp.conn_bytes_pinned");
   gau_pinned_bytes_->set(pinned_bytes_);
@@ -67,6 +77,55 @@ void TcpLayer::note_pinned_delta(std::int64_t delta) {
 
 void TcpLayer::note_ooo_budget_drop() {
   if (ctr_ooo_budget_drops_) ctr_ooo_budget_drops_->inc();
+}
+
+bool TcpLayer::approve_challenge_ack(Connection& conn) {
+  // Lazy per-connection refresh: a connection that last challenged in an
+  // older interval gets a fresh budget, without any per-connection timer.
+  if (conn.challenge_epoch_ != challenge_epoch_) {
+    conn.challenge_epoch_ = challenge_epoch_;
+    conn.challenge_used_ = 0;
+  }
+  if (challenge_global_used_ >= params_.challenge_ack_limit ||
+      conn.challenge_used_ >= params_.challenge_ack_per_conn) {
+    if (ctr_challenge_limited_) ctr_challenge_limited_->inc();
+    return false;
+  }
+  ++challenge_global_used_;
+  ++conn.challenge_used_;
+  if (ctr_challenge_acks_) ctr_challenge_acks_->inc();
+  // One wheel slot per busy interval: armed on the interval's first
+  // challenge, idle otherwise.
+  if (!challenge_timer_.armed()) {
+    challenge_timer_.start(params_.challenge_ack_interval, [this] {
+      ++challenge_epoch_;
+      challenge_global_used_ = 0;
+    });
+  }
+  return true;
+}
+
+void TcpLayer::on_icmp(const ip::IpDatagram& dgram, const ip::RxMeta& meta) {
+  (void)meta;
+  const auto msg = ip::IcmpMessage::parse(dgram.payload);
+  if (!msg || msg->type != ip::kIcmpDestUnreachable ||
+      msg->code != ip::kIcmpFragNeeded || msg->quoted_proto != 6) {
+    if (msg && ctr_icmp_rejected_) ctr_icmp_rejected_->inc();
+    return;
+  }
+  // The quoted datagram is one *we* sent, so its source is our local end:
+  // demux on {quoted src, quoted src port, quoted dst, quoted dst port}.
+  const ConnKey key{msg->quoted_src, msg->quoted_src_port, msg->quoted_dst,
+                    msg->quoted_dst_port};
+  const auto conn = find(key);
+  if (!conn ||
+      !conn->on_icmp_frag_needed(static_cast<Seq32>(msg->quoted_seq), msg->mtu)) {
+    // No such connection, or the quoted sequence number is not in flight:
+    // a stale message or an off-path forgery. Never act on it.
+    if (ctr_icmp_rejected_) ctr_icmp_rejected_->inc();
+    TFO_LOG(kDebug, "tcp") << "ICMP frag-needed rejected for " << key.str();
+    return;
+  }
 }
 
 Seq32 TcpLayer::generate_isn(const ConnKey& key) {

@@ -16,6 +16,7 @@
 #include "ip/ip_layer.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "tcp/connection.hpp"
 #include "tcp/conn_key.hpp"
 #include "tcp/params.hpp"
@@ -148,6 +149,13 @@ class TcpLayer {
   /// A connection dropped an out-of-order segment because stashing it
   /// would exceed params().ooo_budget_bytes.
   void note_ooo_budget_drop();
+  /// RFC 5961 §7 rate limiting: charges one challenge ACK against both the
+  /// layer-wide and `conn`'s per-connection budget for the current
+  /// interval. Returns false (tcp.challenge_acks_limited) when either
+  /// budget is exhausted; true (tcp.challenge_acks) when the ACK may go
+  /// out. Budgets refresh when the interval timer — one timing-wheel slot
+  /// per busy interval, not one per connection — advances the epoch.
+  bool approve_challenge_ack(Connection& conn);
 
  private:
   struct Listener {
@@ -163,6 +171,9 @@ class TcpLayer {
   };
 
   void on_datagram(const ip::IpDatagram& dgram, const ip::RxMeta& meta);
+  /// ICMP fragmentation-needed: validated against the quoted connection's
+  /// in-flight data before any MSS change (tcp.icmp_rejected otherwise).
+  void on_icmp(const ip::IpDatagram& dgram, const ip::RxMeta& meta);
   void handle_for_listener(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
   void send_rst_for(const TcpSegment& seg, ip::Ipv4 src, ip::Ipv4 dst);
   void insert_conn(const ConnKey& key, std::shared_ptr<Connection> conn);
@@ -213,6 +224,14 @@ class TcpLayer {
   std::int64_t pinned_bytes_ = 0;
   std::optional<Seq32> forced_isn_;
 
+  /// Challenge-ACK rate limiting (RFC 5961 §7). The epoch counts completed
+  /// intervals; connections compare their own epoch against it to refresh
+  /// per-connection budgets lazily. The timer runs only while challenges
+  /// are being issued (armed on first use per interval).
+  sim::Timer challenge_timer_;
+  std::uint64_t challenge_epoch_ = 1;
+  std::uint32_t challenge_global_used_ = 0;
+
   // Observability handles (null when no hub is attached). The counter
   // pointers are resolved once in set_observability — the per-segment
   // paths must not pay a map lookup.
@@ -227,6 +246,9 @@ class TcpLayer {
   obs::Counter* ctr_cross_handoffs_ = nullptr;
   obs::Counter* ctr_listen_overflows_ = nullptr;
   obs::Counter* ctr_tw_recycled_ = nullptr;
+  obs::Counter* ctr_challenge_acks_ = nullptr;
+  obs::Counter* ctr_challenge_limited_ = nullptr;
+  obs::Counter* ctr_icmp_rejected_ = nullptr;
   obs::Gauge* gau_connections_ = nullptr;
   obs::Gauge* gau_pinned_bytes_ = nullptr;
 };

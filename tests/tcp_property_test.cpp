@@ -146,5 +146,144 @@ TEST_P(WritePatternSweep, ChunkedWritesCoalesceCorrectly) {
 INSTANTIATE_TEST_SUITE_P(Chunks, WritePatternSweep,
                          ::testing::Values(1, 7, 100, 1459, 1460, 1461, 9999));
 
+// ----------------------------------------------------- RFC 5961 hardening
+//
+// Off-path RST/SYN handling, pinned exactly: an in-window-but-not-exact
+// RST elicits a rate-limited challenge ACK (§3.2), only a RST at
+// precisely RCV.NXT tears the connection down, and a SYN on a
+// synchronized connection is always challenged, never honoured (§4.2).
+
+struct Rfc5961Fixture : ::testing::Test {
+  void SetUp() override {
+    lan = make_lan();
+    lan->primary->tcp().listen(80, [&](std::shared_ptr<Connection> c) {
+      server = std::move(c);
+    });
+    client = lan->client->tcp().connect(lan->primary->address(), 80);
+    ASSERT_TRUE(run_until(lan->sim, [&] {
+      return server && client->state() == TcpState::kEstablished &&
+             server->state() == TcpState::kEstablished;
+    }, seconds(30)));
+  }
+
+  /// Injects a spoofed segment from a third host on the wire, claiming
+  /// the client's address — the off-path adversary's only capability.
+  void spoof(std::uint8_t flags, Seq32 seq, Seq32 ack = 0) {
+    TcpSegment seg;
+    seg.src_port = client->key().local_port;
+    seg.dst_port = 80;
+    seg.seq = seq;
+    seg.flags = flags;
+    if (flags & Flags::kAck) seg.ack = ack;
+    seg.window = 65535;
+    const ip::Ipv4 src = lan->client->address();
+    const ip::Ipv4 dst = lan->primary->address();
+    lan->secondary->ip().send(ip::Proto::kTcp, src, dst, seg.take_wire(src, dst));
+    lan->sim.run_for(milliseconds(10));
+  }
+
+  std::uint64_t challenges() const {
+    return lan->primary->obs().registry.counter_value("tcp.challenge_acks");
+  }
+  std::uint64_t limited() const {
+    return lan->primary->obs().registry.counter_value("tcp.challenge_acks_limited");
+  }
+
+  std::unique_ptr<Lan> lan;
+  std::shared_ptr<Connection> server, client;
+};
+
+TEST_F(Rfc5961Fixture, InWindowInexactRstElicitsChallengeAckNotTeardown) {
+  const Seq32 rcv_nxt = server->rcv_nxt_abs();
+  ASSERT_GE(server->advertised_window(), 100);
+
+  spoof(Flags::kRst, rcv_nxt + 10);  // in window, not exact
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(challenges(), 1u);
+
+  // Out-of-window RST: dropped silently — no challenge, no teardown.
+  spoof(Flags::kRst, rcv_nxt + server->advertised_window() + 50000);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(challenges(), 1u);
+}
+
+TEST_F(Rfc5961Fixture, OnlyExactRcvNxtRstTearsDown) {
+  spoof(Flags::kRst, server->rcv_nxt_abs());
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  EXPECT_EQ(challenges(), 0u);
+}
+
+TEST_F(Rfc5961Fixture, SynOnSynchronizedConnectionIsChallengedNotHonoured) {
+  const Seq32 rcv_nxt = server->rcv_nxt_abs();
+  // §4.2: regardless of sequence number — exact, in-window, out-of-window.
+  for (const Seq32 seq : {rcv_nxt, rcv_nxt + 17, rcv_nxt + 2'000'000u}) {
+    spoof(Flags::kSyn, seq);
+    EXPECT_EQ(server->state(), TcpState::kEstablished) << "seq " << seq;
+  }
+  EXPECT_EQ(challenges(), 3u);
+
+  // The connection still works afterwards.
+  Bytes got;
+  server->on_readable = [&] { server->recv(got); };
+  client->send(to_bytes("still alive"));
+  ASSERT_TRUE(run_until(lan->sim, [&] { return got.size() == 11; }, seconds(10)));
+}
+
+TEST_F(Rfc5961Fixture, ChallengeAcksAreRateLimitedPerConnectionAndRefresh) {
+  const auto per_conn = lan->primary->tcp().params().challenge_ack_per_conn;
+  const Seq32 rcv_nxt = server->rcv_nxt_abs();
+  // A burst of in-window inexact RSTs: only the per-connection budget is
+  // answered inside one interval; the rest are counted as limited.
+  for (std::uint32_t i = 0; i < per_conn + 5; ++i) {
+    spoof(Flags::kRst, rcv_nxt + 1 + i);
+  }
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(challenges(), per_conn);
+  EXPECT_EQ(limited(), 5u);
+
+  // A new interval refreshes the budget.
+  lan->sim.run_for(lan->primary->tcp().params().challenge_ack_interval);
+  spoof(Flags::kRst, rcv_nxt + 1);
+  EXPECT_EQ(challenges(), per_conn + 1);
+}
+
+TEST_F(Rfc5961Fixture, AckLessPayloadIsDroppedOnSynchronizedConnection) {
+  // RFC 793 p.72 + §5.2 closure: payload must never bypass ACK
+  // acceptability by clearing the ACK flag.
+  Bytes got;
+  server->on_readable = [&] { server->recv(got); };
+  TcpSegment seg;
+  seg.src_port = client->key().local_port;
+  seg.dst_port = 80;
+  seg.seq = server->rcv_nxt_abs();  // exactly in order — still dropped
+  seg.flags = Flags::kPsh;          // no ACK
+  seg.window = 65535;
+  seg.payload = wire::PacketBuffer(Bytes(64, 0x41));
+  const ip::Ipv4 src = lan->client->address();
+  const ip::Ipv4 dst = lan->primary->address();
+  lan->secondary->ip().send(ip::Proto::kTcp, src, dst, seg.take_wire(src, dst));
+  lan->sim.run_for(milliseconds(20));
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+}
+
+TEST_F(Rfc5961Fixture, TimeWaitFailedRecycleSynIsChallengedThroughLimiter) {
+  // Drive the server into TIME_WAIT (server closes first), then offer a
+  // SYN whose sequence does not advance past the old connection's — the
+  // recycle must fail and the reply must be a rate-limited challenge ACK,
+  // not an unconditional ACK an attacker could use as an amplifier.
+  server->close();
+  client->on_peer_fin = [&] { client->close(); };
+  if (client->state() == TcpState::kCloseWait) client->close();
+  ASSERT_TRUE(run_until(lan->sim, [&] {
+    return server->state() == TcpState::kTimeWait;
+  }, seconds(30)));
+
+  const std::uint64_t before = challenges();
+  spoof(Flags::kSyn, server->rcv_nxt_abs() - 100000);  // not advancing
+  EXPECT_EQ(server->state(), TcpState::kTimeWait);
+  EXPECT_EQ(challenges(), before + 1);
+}
+
 }  // namespace
 }  // namespace tfo::tcp
